@@ -1,0 +1,107 @@
+// Ablation: BDDs vs wildcard expressions for header sets — the §4.1
+// design decision. "Even wildcard expressions are widely used ... they
+// are very inefficient for representing arbitrary header sets" (the
+// paper cites 652M wildcard expressions to characterize Stanford).
+//
+// We measure, on identical inputs:
+//   1. the dst_port != 22 example (16 cubes vs a 16-node BDD branch),
+//   2. the representation size of a real switch's shadow-subtracted
+//      forwarding predicates (the path-table builder's core operation),
+//   3. the time to run the subtraction chain in each representation.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "header/wildcard.hpp"
+
+using namespace veridp;
+using namespace veridp::bench;
+
+namespace {
+
+WildcardSet match_to_wildcard(const Match& m) {
+  TernaryCube c = TernaryCube::any();
+  if (m.src.len > 0) c.constrain_prefix(Field::SrcIp, m.src);
+  if (m.dst.len > 0) c.constrain_prefix(Field::DstIp, m.dst);
+  if (m.proto) c.constrain_field(Field::Proto, *m.proto);
+  if (m.src_port) c.constrain_field(Field::SrcPort, *m.src_port);
+  if (m.dst_port) c.constrain_field(Field::DstPort, *m.dst_port);
+  return WildcardSet::of(c);
+}
+
+}  // namespace
+
+int main() {
+  rule_header("Ablation: BDD vs wildcard-expression header sets (4.1)");
+
+  // (1) The paper's own example.
+  {
+    HeaderSpace space;
+    const HeaderSet ne22_bdd = ~space.field_eq(Field::DstPort, 22);
+    TernaryCube ssh = TernaryCube::any();
+    ssh.constrain_field(Field::DstPort, 22);
+    const WildcardSet ne22_wc =
+        WildcardSet::all().subtract(WildcardSet::of(ssh));
+    std::printf("\ndst_port != 22:  wildcard cubes = %zu   BDD nodes = %zu\n",
+                ne22_wc.num_cubes(), ne22_bdd.bdd_size());
+  }
+
+  // (2+3) Shadow subtraction over a realistic rule mix: per-port
+  // "effective match" sets as the path-table builder computes them.
+  Setup s = make_internet2(6, 800);
+  SwitchId biggest = 0;
+  for (SwitchId sw = 0; sw < s.topo.num_switches(); ++sw)
+    if (s.controller.logical(sw).table.size() >
+        s.controller.logical(biggest).table.size())
+      biggest = sw;
+  const auto& rules = s.controller.logical(biggest).table.rules();
+  std::printf("\nshadow subtraction over %zu prioritized rules at %s:\n",
+              rules.size(), s.topo.name(biggest).c_str());
+
+  // BDD version.
+  {
+    HeaderSpace space;
+    const auto t0 = std::chrono::steady_clock::now();
+    HeaderSet covered = space.none();
+    std::size_t peak_nodes = 0;
+    for (const FlowRule& r : rules) {
+      HeaderSet eff = r.match.to_header_set(space) - covered;
+      covered |= eff;
+      peak_nodes = std::max(peak_nodes, covered.bdd_size());
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("  BDD:      %8.2f ms, final set %zu nodes (peak %zu)\n",
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                covered.bdd_size(), peak_nodes);
+  }
+
+  // Wildcard version — same computation, cube counts explode. We cap
+  // the work so the binary always terminates; the cap itself is the
+  // result.
+  {
+    constexpr std::size_t kCubeCap = 200000;
+    const auto t0 = std::chrono::steady_clock::now();
+    WildcardSet covered;
+    std::size_t processed = 0;
+    std::size_t peak_cubes = 0;
+    for (const FlowRule& r : rules) {
+      const WildcardSet m = match_to_wildcard(r.match);
+      const WildcardSet eff = m.subtract(covered);
+      covered = covered.unite(eff);
+      peak_cubes = std::max(peak_cubes, covered.num_cubes());
+      ++processed;
+      if (covered.num_cubes() > kCubeCap) break;
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - t0).count() > 30.0) break;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    std::printf("  wildcard: %8.2f ms, %zu cubes after %zu/%zu rules%s\n",
+                std::chrono::duration<double, std::milli>(t1 - t0).count(),
+                covered.num_cubes(), processed, rules.size(),
+                processed < rules.size() ? "  (ABORTED: blow-up)" : "");
+  }
+
+  std::printf("\npaper: characterizing the Stanford network needs 652 "
+              "million wildcard expressions; BDDs keep the path table "
+              "compact and give O(1) set equality\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared setup for the evaluation harness (§6.1): the four experimental
+// topologies with their synthetic rule workloads, and small reporting
+// helpers. Scales are chosen so each bench binary finishes in well under
+// a minute; override with the VERIDP_SCALE env var (1 = paper-shaped
+// default, >1 = proportionally more edge ports / extra rules).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "controller/routing.hpp"
+#include "topo/generators.hpp"
+#include "veridp/path_builder.hpp"
+#include "veridp/server.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace bench {
+
+inline int scale() {
+  if (const char* s = std::getenv("VERIDP_SCALE")) return std::atoi(s);
+  return 1;
+}
+
+/// A ready-to-measure deployment: topology, controller with routing +
+/// synthetic extra rules, and (optionally) ACLs.
+struct Setup {
+  std::string name;
+  Topology topo;
+  Controller controller;
+  HeaderSpace space;
+
+  Setup(std::string n, Topology t) : name(std::move(n)), topo(std::move(t)), controller(topo) {}
+};
+
+/// Stanford-backbone-like: 26 switches, /20 edge subnets, extra
+/// more-specific rules + edge ACLs approximating the config mix.
+inline Setup make_stanford(int edge_ports_per_zone = 5,
+                           std::size_t extra_rules = 6000,
+                           std::size_t acls = 80) {
+  Setup s("Stanford", stanford_like(14, edge_ports_per_zone * scale()));
+  routing::install_shortest_paths(s.controller);
+  Rng rng(1001);
+  workload::add_specific_rules(s.controller, rng, extra_rules * static_cast<std::size_t>(scale()));
+  workload::add_edge_acls(s.controller, rng, acls);
+  return s;
+}
+
+/// Internet2-like: 9 routers, /16 edge subnets, forwarding rules only
+/// (the public Internet2 data has no ACLs, §6.1).
+inline Setup make_internet2(int edge_ports_per_router = 20,
+                            std::size_t extra_rules = 6000) {
+  Setup s("Internet2", internet2_like(edge_ports_per_router * scale()));
+  routing::install_shortest_paths(s.controller);
+  Rng rng(1002);
+  workload::add_specific_rules(s.controller, rng, extra_rules * static_cast<std::size_t>(scale()));
+  return s;
+}
+
+/// Fat tree with plain shortest-path routing ("hosts pinged each other").
+inline Setup make_fat_tree(int k) {
+  Setup s("FT(k=" + std::to_string(k) + ")", fat_tree(k));
+  routing::install_shortest_paths(s.controller);
+  return s;
+}
+
+/// Builds the path table, returning it with the build time in seconds.
+inline std::pair<PathTable, double> timed_build(Setup& s, int tag_bits = 16) {
+  ConfigTransferProvider provider(s.space, s.topo,
+                                  s.controller.logical_configs());
+  PathTableBuilder builder(s.space, s.topo, provider, tag_bits);
+  const auto t0 = std::chrono::steady_clock::now();
+  PathTable table = builder.build();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {std::move(table), std::chrono::duration<double>(t1 - t0).count()};
+}
+
+inline void rule_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace veridp

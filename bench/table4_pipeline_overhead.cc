@@ -1,0 +1,151 @@
+// Table 4 — data-plane processing overhead of the VeriDP pipeline.
+//
+// The paper measures, on the ONetSwitch FPGA (125 MHz), the delay of the
+// native OpenFlow pipeline vs the VeriDP sampling and tagging modules
+// for packet sizes 128..1500 B: native delay grows with size (4.3-36.7
+// μs) while sampling (~0.15 μs) and tagging (~0.27 μs) are size-
+// independent, so their relative overhead shrinks (3.52% -> 0.41% and
+// 6.29% -> 0.74%).
+//
+// Our substitute (DESIGN.md #1) is the software switch: the native
+// pipeline parses the header from the wire buffer, performs the flow-
+// table lookup and copies the payload (per-byte cost); the sampling and
+// tagging modules run the exact FlowSampler / Algorithm-1 code. We
+// report the same table: absolute per-packet delay and overhead ratios.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dataplane/pipeline.hpp"
+#include "flow/flow_table.hpp"
+
+using namespace veridp;
+using namespace veridp::bench;
+
+namespace {
+
+constexpr std::array<std::uint32_t, 5> kSizes = {128, 256, 512, 1024, 1500};
+
+// A realistic per-switch forwarding state: a few hundred prefix rules.
+FlowTable& forwarding_table() {
+  static FlowTable table = [] {
+    FlowTable t;
+    Rng rng(4004);
+    for (RuleId id = 1; id <= 200; ++id) {
+      const auto len = static_cast<std::uint8_t>(rng.uniform(16, 28));
+      const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 255)),
+                              static_cast<std::uint8_t>(rng.uniform(0, 255)), 0),
+                     len};
+      t.add(FlowRule{id, len, Match::dst_prefix(p), Action::output(
+                         static_cast<PortId>(rng.uniform(1, 48)))});
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::vector<std::uint8_t> wire_packet(std::uint32_t size, Rng& rng) {
+  std::vector<std::uint8_t> buf(size);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.uniform(0, 255));
+  // Minimal IPv4+TCP header layout at fixed offsets (parsed below).
+  buf[9] = kProtoTcp;
+  return buf;
+}
+
+PacketHeader parse(const std::vector<std::uint8_t>& buf) {
+  PacketHeader h;
+  h.src_ip.value = (std::uint32_t{buf[12]} << 24) | (std::uint32_t{buf[13]} << 16) |
+                   (std::uint32_t{buf[14]} << 8) | buf[15];
+  h.dst_ip.value = (std::uint32_t{buf[16]} << 24) | (std::uint32_t{buf[17]} << 16) |
+                   (std::uint32_t{buf[18]} << 8) | buf[19];
+  h.proto = buf[9];
+  h.src_port = static_cast<std::uint16_t>((buf[20] << 8) | buf[21]);
+  h.dst_port = static_cast<std::uint16_t>((buf[22] << 8) | buf[23]);
+  return h;
+}
+
+// "Native pipeline": parse + lookup + checksum + forward (payload copy).
+void BM_NativePipeline(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size);
+  const auto in = wire_packet(size, rng);
+  std::vector<std::uint8_t> out(size);
+  const FlowTable& table = forwarding_table();
+  for (auto _ : state) {
+    const PacketHeader h = parse(in);
+    const PortId port = table.lookup_port(h, 1);
+    benchmark::DoNotOptimize(port);
+    // Store-and-forward byte path: RX CRC, integrity check, TX CRC —
+    // serial per-byte work like the FPGA pipeline's — plus the egress
+    // copy. The dependent-chain hash defeats vectorization so the cost
+    // genuinely scales with packet size.
+    std::uint32_t crc = 0xffffffff;
+    for (int pass = 0; pass < 3; ++pass)
+      for (std::uint8_t b : in) crc = crc * 31 + b;
+    benchmark::DoNotOptimize(crc);
+    std::memcpy(out.data(), in.data(), size);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// VeriDP sampling module: per-flow hash-table check (entry switches only).
+void BM_SamplingModule(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size);
+  const auto in = wire_packet(size, rng);
+  FlowSampler sampler(/*interval=*/1.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    const PacketHeader h = parse(in);
+    benchmark::DoNotOptimize(sampler.sample(h, t));
+    t += 1e-6;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+// VeriDP tagging module: Algorithm-1 tag update + TTL + shim write.
+void BM_TaggingModule(benchmark::State& state) {
+  const auto size = static_cast<std::uint32_t>(state.range(0));
+  Rng rng(size);
+  const auto in = wire_packet(size, rng);
+  Packet p;
+  p.header = parse(in);
+  p.size_bytes = size;
+  p.marker = true;
+  p.ttl = kMaxPathLength;
+  std::array<std::uint8_t, 4> shim{};  // two VLAN TCIs on the wire
+  PortId x = 1;
+  for (auto _ : state) {
+    p.tag.insert(Hop{x, 7, x + 1});
+    p.ttl = p.ttl > 1 ? p.ttl - 1 : kMaxPathLength;
+    const std::uint16_t tci = static_cast<std::uint16_t>(p.tag.value());
+    std::memcpy(shim.data(), &tci, 2);
+    benchmark::ClobberMemory();
+    x = (x % 40) + 1;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rule_header("Table 4: VeriDP pipeline overhead vs native pipeline");
+  std::printf("paper (FPGA): native 4.32-36.68 us; sampling ~0.15 us "
+              "(3.52%%->0.41%%); tagging ~0.27 us (6.29%%->0.74%%)\n");
+  std::printf("software substitute: same code paths, CPU timing; compare "
+              "the *ratios* across packet sizes\n\n");
+  for (auto size : kSizes) {
+    benchmark::RegisterBenchmark("native", BM_NativePipeline)->Arg(size)->Unit(benchmark::kNanosecond);
+    benchmark::RegisterBenchmark("sampling", BM_SamplingModule)->Arg(size)->Unit(benchmark::kNanosecond);
+    benchmark::RegisterBenchmark("tagging", BM_TaggingModule)->Arg(size)->Unit(benchmark::kNanosecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("\noverhead %% = module time / native time at the same packet "
+              "size; expect it to fall as packets grow\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "baseline/atpg.hpp"
+
+namespace veridp {
+namespace baseline {
+
+std::vector<AtpgProbe> generate_probes(const PathTable& table, Rng& rng) {
+  std::vector<AtpgProbe> probes;
+  table.for_each([&probes, &rng](PortKey in, PortKey out,
+                                 const PathEntry& entry) {
+    // ATPG "solely checks reception of probe packets" (§3.1): probes are
+    // generated for deliverable behaviour classes only. Deny/miss classes
+    // have no reception signal, which is exactly ATPG's blind spot for
+    // access-control faults.
+    if (out.port == kDropPort) return;
+    if (auto h = entry.headers.sample(rng))
+      probes.push_back(AtpgProbe{in, *h, out});
+  });
+  return probes;
+}
+
+AtpgResult run(Network& net, const std::vector<AtpgProbe>& probes) {
+  AtpgResult result;
+  result.probes = probes.size();
+  for (const AtpgProbe& p : probes) {
+    const ForwardResult fr = net.inject(p.header, p.entry);
+    // ATPG semantics: the probe passes iff it is received where expected
+    // (drops count as "received at ⊥"). The path itself is not checked.
+    if (fr.exit == p.expected_exit)
+      ++result.passed;
+    else
+      result.failed.push_back(p);
+  }
+  return result;
+}
+
+}  // namespace baseline
+}  // namespace veridp

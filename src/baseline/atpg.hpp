@@ -1,0 +1,37 @@
+// ATPG-style baseline (§3.1, §7): probe packets that exercise the rule
+// set, checked only for *reception at the expected exit port* — no path
+// inspection. Reproduces ATPG's blind spot: faults that leave the exit
+// port unchanged (waypoint bypass, same-destination path deviation,
+// ill-inserted broader rules) pass ATPG but fail VeriDP.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/network.hpp"
+#include "veridp/path_table.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace baseline {
+
+struct AtpgProbe {
+  PortKey entry;
+  PacketHeader header;
+  PortKey expected_exit;  ///< port (or ⊥-port pair) the control plane expects
+};
+
+struct AtpgResult {
+  std::size_t probes = 0;
+  std::size_t passed = 0;
+  std::vector<AtpgProbe> failed;
+};
+
+/// Derives one probe per path-table path (full coverage of control-plane
+/// behaviour classes, like ATPG's rule-covering test set).
+std::vector<AtpgProbe> generate_probes(const PathTable& table, Rng& rng);
+
+/// Sends every probe through the data plane and compares exit ports.
+AtpgResult run(Network& net, const std::vector<AtpgProbe>& probes);
+
+}  // namespace baseline
+}  // namespace veridp

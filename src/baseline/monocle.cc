@@ -1,0 +1,89 @@
+#include "baseline/monocle.hpp"
+
+namespace veridp {
+namespace baseline {
+
+namespace {
+
+// Headers that the table forwards to each port *excluding* rule `skip`.
+// Index 0 = port 1; the last slot is ⊥. Shadow subtraction as in
+// TransferFunction::compute.
+std::vector<HeaderSet> port_predicates_without(const HeaderSpace& space,
+                                               const FlowTable& table,
+                                               PortId num_ports,
+                                               RuleId skip) {
+  std::vector<HeaderSet> pred(num_ports + 1, space.none());
+  HeaderSet covered = space.none();
+  for (const FlowRule& r : table.rules()) {
+    if (r.id == skip) continue;
+    HeaderSet eff = r.match.to_header_set(space) - covered;
+    if (eff.empty()) continue;
+    covered |= eff;
+    const std::size_t slot =
+        r.action.is_drop() ? num_ports : (r.action.out - 1);
+    pred[slot] |= eff;
+  }
+  pred[num_ports] |= ~covered;  // table miss drops
+  return pred;
+}
+
+}  // namespace
+
+std::optional<MonocleProbe> generate_probe(const HeaderSpace& space,
+                                           const SwitchConfig& config,
+                                           PortId num_ports, RuleId id) {
+  const FlowRule* rule = config.table.find(id);
+  if (!rule) return std::nullopt;
+  // Monocle probes are injected from end hosts; rules pinned to a
+  // specific in_port are out of its scope here.
+  if (rule->match.in_port) return std::nullopt;
+
+  // (a) Headers that actually hit the rule: match minus higher-priority
+  // matches (and minus equal-priority earlier rules, which win ties).
+  HeaderSet hit = rule->match.to_header_set(space);
+  for (const FlowRule& r : config.table.rules()) {
+    if (r.id == id) break;  // rules() is priority-then-insertion ordered
+    hit -= r.match.to_header_set(space);
+    if (hit.empty()) return std::nullopt;  // fully shadowed
+  }
+
+  // (b) Restrict to headers whose forwarding changes without the rule.
+  const auto without = port_predicates_without(space, config.table,
+                                               num_ports, id);
+  const std::size_t same_slot =
+      rule->action.is_drop() ? num_ports : (rule->action.out - 1);
+  HeaderSet distinguishing = hit - without[same_slot];
+  if (distinguishing.empty()) return std::nullopt;
+
+  auto header = distinguishing.any_member();
+  if (!header) return std::nullopt;
+
+  MonocleProbe probe;
+  probe.rule = id;
+  probe.header = *header;
+  probe.expected_out = rule->action.out;
+  // Report where the probe would go if the rule vanished (diagnostics).
+  for (std::size_t slot = 0; slot <= num_ports; ++slot) {
+    if (without[slot].contains(*header)) {
+      probe.without_rule =
+          slot == num_ports ? kDropPort : static_cast<PortId>(slot + 1);
+      break;
+    }
+  }
+  return probe;
+}
+
+MonocleRun generate_all(const HeaderSpace& space, const SwitchConfig& config,
+                        PortId num_ports) {
+  MonocleRun run;
+  for (const FlowRule& r : config.table.rules()) {
+    if (auto p = generate_probe(space, config, num_ports, r.id))
+      run.probes.push_back(*p);
+    else
+      ++run.skipped;
+  }
+  return run;
+}
+
+}  // namespace baseline
+}  // namespace veridp

@@ -1,0 +1,289 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace veridp {
+
+namespace {
+
+// Packs (var, low, high) into a 64-bit unique-table key. Node counts stay
+// far below 2^21 per field in our workloads; assert guards the packing.
+std::uint64_t pack_unique(std::int32_t var, BddRef low, BddRef high) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) << 48) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(low)) << 24) ^
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(high));
+}
+
+}  // namespace
+
+BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+  assert(num_vars >= 0 && num_vars < (1 << 15));
+  // Terminal nodes: index 0 = FALSE, 1 = TRUE. Their var is num_vars_ so
+  // that terminals sort below every real variable.
+  nodes_.push_back(Node{num_vars_, kBddFalse, kBddFalse});
+  nodes_.push_back(Node{num_vars_, kBddTrue, kBddTrue});
+  nodes_.reserve(1 << 16);
+}
+
+BddRef BddManager::make_node(std::int32_t var, BddRef low, BddRef high) {
+  if (low == high) return low;  // reduction rule
+  const std::uint64_t key = pack_unique(var, low, high);
+  auto [it, inserted] = unique_.try_emplace(key, 0);
+  if (!inserted) return it->second;
+  nodes_.push_back(Node{var, low, high});
+  const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
+  it->second = ref;
+  return ref;
+}
+
+BddRef BddManager::var(int v) {
+  assert(v >= 0 && v < num_vars_);
+  return make_node(v, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(int v) {
+  assert(v >= 0 && v < num_vars_);
+  return make_node(v, kBddTrue, kBddFalse);
+}
+
+bool BddManager::terminal_case(Op op, BddRef a, BddRef b, BddRef& out) {
+  switch (op) {
+    case Op::And:
+      if (a == kBddFalse || b == kBddFalse) return out = kBddFalse, true;
+      if (a == kBddTrue) return out = b, true;
+      if (b == kBddTrue) return out = a, true;
+      if (a == b) return out = a, true;
+      return false;
+    case Op::Or:
+      if (a == kBddTrue || b == kBddTrue) return out = kBddTrue, true;
+      if (a == kBddFalse) return out = b, true;
+      if (b == kBddFalse) return out = a, true;
+      if (a == b) return out = a, true;
+      return false;
+    case Op::Xor:
+      if (a == b) return out = kBddFalse, true;
+      if (a == kBddFalse) return out = b, true;
+      if (b == kBddFalse) return out = a, true;
+      return false;
+    case Op::Diff:
+      if (a == kBddFalse || b == kBddTrue) return out = kBddFalse, true;
+      if (b == kBddFalse) return out = a, true;
+      if (a == b) return out = kBddFalse, true;
+      return false;
+    case Op::Not:
+      return false;
+  }
+  return false;
+}
+
+BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
+  BddRef shortcut;
+  if (terminal_case(op, a, b, shortcut)) return shortcut;
+
+  // Commutative ops: canonicalize operand order for better cache hits.
+  if ((op == Op::And || op == Op::Or || op == Op::Xor) && a > b)
+    std::swap(a, b);
+
+  const CacheKey key{(static_cast<std::uint64_t>(static_cast<int>(op)) << 60) ^
+                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                      << 30) ^
+                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(b))};
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
+
+  const Node& na = nodes_[static_cast<std::size_t>(a)];
+  const Node& nb = nodes_[static_cast<std::size_t>(b)];
+  const std::int32_t v = std::min(na.var, nb.var);
+  const BddRef a_lo = na.var == v ? na.low : a;
+  const BddRef a_hi = na.var == v ? na.high : a;
+  const BddRef b_lo = nb.var == v ? nb.low : b;
+  const BddRef b_hi = nb.var == v ? nb.high : b;
+
+  const BddRef lo = apply(op, a_lo, b_lo);
+  const BddRef hi = apply(op, a_hi, b_hi);
+  const BddRef result = make_node(v, lo, hi);
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::apply_and(BddRef a, BddRef b) { return apply(Op::And, a, b); }
+BddRef BddManager::apply_or(BddRef a, BddRef b) { return apply(Op::Or, a, b); }
+BddRef BddManager::apply_xor(BddRef a, BddRef b) { return apply(Op::Xor, a, b); }
+BddRef BddManager::apply_diff(BddRef a, BddRef b) {
+  return apply(Op::Diff, a, b);
+}
+
+BddRef BddManager::apply_not(BddRef a) {
+  if (a == kBddFalse) return kBddTrue;
+  if (a == kBddTrue) return kBddFalse;
+  const CacheKey key{
+      (static_cast<std::uint64_t>(static_cast<int>(Op::Not)) << 60) ^
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))};
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
+  const Node& na = nodes_[static_cast<std::size_t>(a)];
+  const BddRef result =
+      make_node(na.var, apply_not(na.low), apply_not(na.high));
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  return apply_or(apply_and(f, g), apply_and(apply_not(f), h));
+}
+
+bool BddManager::implies(BddRef a, BddRef b) {
+  return apply_diff(a, b) == kBddFalse;
+}
+
+bool BddManager::eval(BddRef a, const std::vector<bool>& bits) const {
+  return eval(a, [&bits](int v) { return bits[static_cast<std::size_t>(v)]; });
+}
+
+bool BddManager::eval(BddRef a, const std::function<bool(int)>& bit) const {
+  while (a > kBddTrue) {
+    const Node& n = nodes_[static_cast<std::size_t>(a)];
+    a = bit(n.var) ? n.high : n.low;
+  }
+  return a == kBddTrue;
+}
+
+double BddManager::sat_count(BddRef a) {
+  // count(n) = number of assignments of variables >= n.var satisfying n,
+  // scaled at the end for variables above the root.
+  std::function<double(BddRef)> rec = [&](BddRef r) -> double {
+    if (r == kBddFalse) return 0.0;
+    if (r == kBddTrue) return 1.0;
+    if (auto it = count_cache_.find(r); it != count_cache_.end())
+      return it->second;
+    const Node& n = nodes_[static_cast<std::size_t>(r)];
+    const Node& lo = nodes_[static_cast<std::size_t>(n.low)];
+    const Node& hi = nodes_[static_cast<std::size_t>(n.high)];
+    const double c = rec(n.low) * std::exp2(lo.var - n.var - 1) +
+                     rec(n.high) * std::exp2(hi.var - n.var - 1);
+    count_cache_.emplace(r, c);
+    return c;
+  };
+  const Node& root = nodes_[static_cast<std::size_t>(a)];
+  return rec(a) * std::exp2(root.var);
+}
+
+std::optional<std::vector<bool>> BddManager::pick_one(BddRef a) const {
+  return pick_random(a, [] { return false; });
+}
+
+std::optional<std::vector<bool>> BddManager::pick_random(
+    BddRef a, const std::function<bool()>& coin) const {
+  if (a == kBddFalse) return std::nullopt;
+  std::vector<bool> bits(static_cast<std::size_t>(num_vars_));
+  for (int v = 0; v < num_vars_; ++v) bits[static_cast<std::size_t>(v)] = coin();
+  BddRef cur = a;
+  while (cur > kBddTrue) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    // Prefer the coin's choice if it keeps us satisfiable; otherwise flip.
+    bool want = bits[static_cast<std::size_t>(n.var)];
+    BddRef next = want ? n.high : n.low;
+    if (next == kBddFalse) {
+      want = !want;
+      next = want ? n.high : n.low;
+    }
+    bits[static_cast<std::size_t>(n.var)] = want;
+    cur = next;
+  }
+  assert(cur == kBddTrue);
+  return bits;
+}
+
+std::size_t BddManager::size(BddRef a) const {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack{a};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kBddTrue || !seen.insert(r).second) continue;
+    const Node& n = nodes_[static_cast<std::size_t>(r)];
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  return seen.size() + 2;  // + terminals
+}
+
+BddRef BddManager::and_all(const std::vector<BddRef>& xs) {
+  BddRef acc = kBddTrue;
+  for (BddRef x : xs) acc = apply_and(acc, x);
+  return acc;
+}
+
+BddRef BddManager::or_all(const std::vector<BddRef>& xs) {
+  BddRef acc = kBddFalse;
+  for (BddRef x : xs) acc = apply_or(acc, x);
+  return acc;
+}
+
+BddRef BddManager::cube(int first_var, std::uint64_t bits, int width,
+                        int len) {
+  assert(len >= 0 && len <= width);
+  assert(first_var + width <= num_vars_);
+  // Build bottom-up from the deepest constrained variable so each level is
+  // a single make_node — no apply() and thus no cache pressure.
+  BddRef acc = kBddTrue;
+  for (int i = len - 1; i >= 0; --i) {
+    const bool bit = (bits >> (width - 1 - i)) & 1;
+    const std::int32_t v = first_var + i;
+    acc = bit ? make_node(v, kBddFalse, acc) : make_node(v, acc, kBddFalse);
+  }
+  return acc;
+}
+
+BddRef BddManager::exists(BddRef a, int first_var, int count) {
+  if (a <= kBddTrue || count <= 0) return a;
+  const int last = first_var + count - 1;
+  // Memoized on (a, range). The range fits the spare key bits since
+  // variables are < 2^15.
+  const CacheKey key{(std::uint64_t{0xEull} << 60) ^
+                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                      << 30) ^
+                     (static_cast<std::uint64_t>(first_var) << 15) ^
+                     static_cast<std::uint64_t>(count)};
+  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
+
+  const Node n = nodes_[static_cast<std::size_t>(a)];
+  BddRef result;
+  if (n.var > last) {
+    result = a;  // whole range is above this subtree: nothing to forget
+  } else if (n.var >= first_var) {
+    // Quantified variable: either branch may realize it.
+    result = apply_or(exists(n.low, first_var, count),
+                      exists(n.high, first_var, count));
+  } else {
+    result = make_node(n.var, exists(n.low, first_var, count),
+                       exists(n.high, first_var, count));
+  }
+  op_cache_.emplace(key, result);
+  return result;
+}
+
+int BddManager::top_var(BddRef a) const {
+  return nodes_[static_cast<std::size_t>(a)].var;
+}
+
+std::string BddManager::dump(BddRef a) const {
+  if (a == kBddFalse) return "FALSE";
+  if (a == kBddTrue) return "TRUE";
+  std::string out;
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> stack{a};
+  while (!stack.empty()) {
+    const BddRef r = stack.back();
+    stack.pop_back();
+    if (r <= kBddTrue || !seen.insert(r).second) continue;
+    const Node& n = nodes_[static_cast<std::size_t>(r)];
+    out += "n" + std::to_string(r) + " = (x" + std::to_string(n.var) + " ? n" +
+           std::to_string(n.high) + " : n" + std::to_string(n.low) + ")\n";
+    stack.push_back(n.low);
+    stack.push_back(n.high);
+  }
+  return out;
+}
+
+}  // namespace veridp

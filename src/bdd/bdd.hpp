@@ -1,0 +1,154 @@
+// A from-scratch Reduced Ordered Binary Decision Diagram (ROBDD) engine.
+//
+// The paper (§4.1) represents packet-header sets with BDDs because wildcard
+// expressions blow up on arbitrary sets (e.g. dst_port != 22) and support
+// set operations poorly. This engine provides exactly what the path-table
+// machinery needs:
+//
+//   * hash-consed nodes (a unique table) so structural equality is pointer
+//     equality — header-set comparison is O(1),
+//   * a memoized apply() for AND / OR / XOR / DIFF,
+//   * negation, implication tests, satisfiability counting, and witness
+//     extraction (used to synthesize concrete test packets from a set).
+//
+// Nodes are never garbage collected: managers live as long as the path
+// table that uses them, and the workloads in this repository peak at a few
+// million nodes. `BddManager::node_count()` exposes growth for benchmarks.
+//
+// Handles (`BddRef`) are plain integers: 0 is the FALSE terminal, 1 is the
+// TRUE terminal. Variables are tested in increasing index order from the
+// root (variable 0 is the topmost).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace veridp {
+
+/// Handle to a BDD node inside a BddManager.
+using BddRef = std::int32_t;
+
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+/// Shared-nothing BDD node store and operation cache.
+class BddManager {
+ public:
+  /// Creates a manager over `num_vars` Boolean variables.
+  explicit BddManager(int num_vars);
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  int num_vars() const { return num_vars_; }
+
+  /// The BDD for the positive literal of variable `var`.
+  BddRef var(int var);
+  /// The BDD for the negative literal of variable `var`.
+  BddRef nvar(int var);
+
+  // -- Boolean algebra ------------------------------------------------------
+  BddRef apply_and(BddRef a, BddRef b);
+  BddRef apply_or(BddRef a, BddRef b);
+  BddRef apply_xor(BddRef a, BddRef b);
+  /// a AND NOT b (set difference).
+  BddRef apply_diff(BddRef a, BddRef b);
+  BddRef apply_not(BddRef a);
+  /// If-then-else: ite(f, g, h) = (f AND g) OR (NOT f AND h).
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  // -- Queries --------------------------------------------------------------
+  /// True iff `a` is the empty set.
+  bool is_false(BddRef a) const { return a == kBddFalse; }
+  /// True iff `a` is the universal set.
+  bool is_true(BddRef a) const { return a == kBddTrue; }
+  /// True iff a ⊆ b, i.e. a AND NOT b == FALSE.
+  bool implies(BddRef a, BddRef b);
+  /// Evaluates `a` under a full assignment: `bits[v]` is the value of
+  /// variable v. O(path length); allocates nothing.
+  bool eval(BddRef a, const std::vector<bool>& bits) const;
+  /// Evaluates under an assignment provided as a callable int -> bool.
+  bool eval(BddRef a, const std::function<bool(int)>& bit) const;
+
+  /// Number of satisfying assignments over all num_vars() variables,
+  /// as a double (the count can exceed 2^64 for 104-var headers).
+  double sat_count(BddRef a);
+
+  /// Picks one satisfying assignment; returns nullopt iff a == FALSE.
+  /// Unconstrained variables are set to 0.
+  std::optional<std::vector<bool>> pick_one(BddRef a) const;
+
+  /// Picks a pseudo-random satisfying assignment: free variables are
+  /// chosen by `coin` (a callable returning bool).
+  std::optional<std::vector<bool>> pick_random(
+      BddRef a, const std::function<bool()>& coin) const;
+
+  /// Number of live nodes (including the two terminals).
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Number of distinct nodes reachable from `a` (BDD size).
+  std::size_t size(BddRef a) const;
+
+  /// Builds the conjunction a[0] AND a[1] AND ... (TRUE for empty).
+  BddRef and_all(const std::vector<BddRef>& xs);
+  /// Builds the disjunction (FALSE for empty).
+  BddRef or_all(const std::vector<BddRef>& xs);
+
+  /// Constrains variables [first_var, first_var+len) to equal the top
+  /// `len` bits of `bits` (MSB-first within the given width). This is the
+  /// workhorse for IP-prefix predicates: O(len) nodes, no apply needed.
+  BddRef cube(int first_var, std::uint64_t bits, int width, int len);
+
+  /// Existential quantification over the contiguous variable range
+  /// [first_var, first_var + count): ∃ x_i... f. Used by header-rewrite
+  /// image computation (forget a field, then pin it to the new value).
+  BddRef exists(BddRef a, int first_var, int count);
+
+  /// Variable index at the root of `a`, or num_vars() for terminals.
+  int top_var(BddRef a) const;
+
+  /// Human-readable dump (for debugging small BDDs).
+  std::string dump(BddRef a) const;
+
+ private:
+  struct Node {
+    std::int32_t var;  // variable index; terminals use var == num_vars_
+    BddRef low;        // child when var == 0
+    BddRef high;       // child when var == 1
+  };
+
+  enum class Op : std::uint8_t { And, Or, Xor, Diff, Not };
+
+  struct CacheKey {
+    std::uint64_t k;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& c) const noexcept {
+      std::uint64_t a = c.k;
+      a ^= a >> 33;
+      a *= 0xff51afd7ed558ccdULL;
+      a ^= a >> 33;
+      return static_cast<std::size_t>(a);
+    }
+  };
+
+  BddRef make_node(std::int32_t var, BddRef low, BddRef high);
+  BddRef apply(Op op, BddRef a, BddRef b);
+  static bool terminal_case(Op op, BddRef a, BddRef b, BddRef& out);
+
+  int num_vars_;
+  std::vector<Node> nodes_;
+  // Unique table: (var, low, high) -> node index.
+  std::unordered_map<std::uint64_t, BddRef> unique_;
+  // Operation cache: (op, a, b) -> result.
+  std::unordered_map<CacheKey, BddRef, CacheKeyHash> op_cache_;
+  // sat_count memo, invalidated never (nodes are immutable).
+  std::unordered_map<BddRef, double> count_cache_;
+};
+
+}  // namespace veridp

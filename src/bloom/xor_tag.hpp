@@ -1,0 +1,49 @@
+// The §3.3 strawman tagging scheme, kept for the ablation study:
+// "Initially, we were tempted to use hash-based tagging, i.e., replace
+// the BF with a hash function, and use the bit-by-bit XOR instead of
+// bit-by-bit OR. Later, we found that this tagging method prevents us
+// from localizing the faulty switch."
+//
+// An XorHashTag accumulates hash(hop) with XOR. Equality comparison
+// still detects inconsistency (detection parity with Bloom tags, often
+// with *fewer* collisions), but there is no membership test: given a
+// tag, you cannot ask "did hop h contribute?", which Algorithm 4's
+// backtracking needs at every step. bench/ablation_tagging quantifies
+// the resulting localization gap.
+#pragma once
+
+#include <cstdint>
+
+#include "common/murmur3.hpp"
+#include "common/types.hpp"
+
+namespace veridp {
+
+class XorHashTag {
+ public:
+  explicit XorHashTag(int bits = 16) : bits_(bits) {}
+
+  /// tag <- tag XOR hash(hop), truncated to `bits`.
+  void insert(const Hop& h) {
+    struct Wire {
+      std::uint32_t in, sw, out;
+    } wire{h.in, h.sw, h.out};
+    const std::uint64_t mask =
+        bits_ >= 64 ? ~0ULL : ((std::uint64_t{1} << bits_) - 1);
+    value_ ^= murmur3_32(wire) & mask;
+  }
+
+  friend bool operator==(const XorHashTag&, const XorHashTag&) = default;
+
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+  [[nodiscard]] int bits() const { return bits_; }
+
+  // Deliberately absent: may_contain(). XOR folding destroys set
+  // structure — that is the point of the ablation.
+
+ private:
+  std::uint64_t value_ = 0;
+  int bits_;
+};
+
+}  // namespace veridp

@@ -1,0 +1,82 @@
+// Fundamental identifier types shared across the VeriDP codebase.
+//
+// The paper models the network at port granularity: a "hop" is the 3-tuple
+// <input_port, switch_ID, output_port>, and the path table is indexed by
+// <inport, outport> pairs of edge ports. We keep those notions as small
+// value types here so every subsystem agrees on them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace veridp {
+
+/// Identifier of a switch (datapath). Dense, assigned by the Topology.
+using SwitchId = std::uint32_t;
+
+/// Local port number on a switch. Port numbering starts at 1 as in the
+/// paper's examples; 0 is never a valid data port.
+using PortId = std::uint32_t;
+
+/// The paper's special "drop port" ⊥: a packet forwarded to kDropPort was
+/// dropped by the flow table (no match, or an explicit drop action).
+inline constexpr PortId kDropPort = std::numeric_limits<PortId>::max();
+
+/// Sentinel for "no switch".
+inline constexpr SwitchId kNoSwitch = std::numeric_limits<SwitchId>::max();
+
+/// A network-unique port: <switch, local port>. Used as the inport/outport
+/// of path-table entries and tag reports.
+struct PortKey {
+  SwitchId sw = kNoSwitch;
+  PortId port = 0;
+
+  friend bool operator==(const PortKey&, const PortKey&) = default;
+  friend auto operator<=>(const PortKey&, const PortKey&) = default;
+
+  [[nodiscard]] bool valid() const { return sw != kNoSwitch; }
+};
+
+/// A hop <input_port, switch_ID, output_port>, the unit the Bloom-filter
+/// tag encodes (Algorithm 1).
+struct Hop {
+  PortId in = 0;
+  SwitchId sw = kNoSwitch;
+  PortId out = 0;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+  friend auto operator<=>(const Hop&, const Hop&) = default;
+};
+
+/// Formats a PortKey like "<S3, 2>" (or "<S3, ⊥>" for the drop port).
+std::string to_string(const PortKey& p);
+
+/// Formats a Hop like "<1, S2, 3>".
+std::string to_string(const Hop& h);
+
+}  // namespace veridp
+
+template <>
+struct std::hash<veridp::PortKey> {
+  std::size_t operator()(const veridp::PortKey& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(p.sw) << 32) | p.port);
+  }
+};
+
+template <>
+struct std::hash<veridp::Hop> {
+  std::size_t operator()(const veridp::Hop& h) const noexcept {
+    std::uint64_t a = (static_cast<std::uint64_t>(h.in) << 40) ^
+                      (static_cast<std::uint64_t>(h.sw) << 20) ^ h.out;
+    // 64-bit mix (splitmix64 finalizer).
+    a ^= a >> 30;
+    a *= 0xbf58476d1ce4e5b9ULL;
+    a ^= a >> 27;
+    a *= 0x94d049bb133111ebULL;
+    a ^= a >> 31;
+    return static_cast<std::size_t>(a);
+  }
+};

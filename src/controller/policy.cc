@@ -1,0 +1,36 @@
+#include "controller/policy.hpp"
+
+namespace veridp {
+namespace policy {
+
+void deny_inbound(Controller& c, SwitchId sw, PortId port, const Match& what) {
+  Acl acl = c.logical(sw).in_acl(port);  // extend any existing ACL
+  acl.deny(what);
+  c.set_in_acl(sw, port, std::move(acl));
+}
+
+RuleId drop_traffic(Controller& c, SwitchId sw, const Match& what,
+                    std::int32_t priority) {
+  return c.add_rule(sw, priority, what, Action::drop());
+}
+
+RuleId steer(Controller& c, SwitchId sw, const Match& what, PortId port,
+             std::int32_t priority) {
+  return c.add_rule(sw, priority, what, Action::output(port));
+}
+
+std::vector<RuleId> te_split(Controller& c, SwitchId sw, const Match& what,
+                             const std::vector<TeSplit>& splits,
+                             std::int32_t priority) {
+  std::vector<RuleId> ids;
+  ids.reserve(splits.size());
+  for (const TeSplit& s : splits) {
+    Match m = what;
+    m.src = s.src;
+    ids.push_back(c.add_rule(sw, priority, m, Action::output(s.out)));
+  }
+  return ids;
+}
+
+}  // namespace policy
+}  // namespace veridp

@@ -1,0 +1,39 @@
+// Higher-level operator intents (§2.3): access control, waypoint
+// (middlebox) traversal, and traffic-engineering splits. Each compiles
+// into logical rules / ACLs via the Controller.
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace veridp {
+namespace policy {
+
+/// Access control: deny `what` on the in-bound ACL of `port` at `sw`
+/// (everything else stays permitted).
+void deny_inbound(Controller& c, SwitchId sw, PortId port, const Match& what);
+
+/// Access control via a high-priority drop rule in the flow table.
+RuleId drop_traffic(Controller& c, SwitchId sw, const Match& what,
+                    std::int32_t priority);
+
+/// Waypoint traversal: at switch `sw`, send traffic matching `what` out
+/// of `port` (e.g. toward a middlebox) with priority `priority`,
+/// overriding the routing underlay.
+RuleId steer(Controller& c, SwitchId sw, const Match& what, PortId port,
+             std::int32_t priority);
+
+/// Traffic engineering: split traffic matching `what` at switch `sw`
+/// across several next-hop ports, keyed by disjoint source prefixes
+/// (the paper's Figure-3 even split, without packet rewrites).
+struct TeSplit {
+  Prefix src;
+  PortId out;
+};
+std::vector<RuleId> te_split(Controller& c, SwitchId sw, const Match& what,
+                             const std::vector<TeSplit>& splits,
+                             std::int32_t priority);
+
+}  // namespace policy
+}  // namespace veridp

@@ -1,0 +1,64 @@
+// Shortest-path routing compilation: the controller's default policy.
+//
+// For every subnet attached to an edge port, a BFS tree rooted at the
+// owning switch is computed and a dst-prefix rule is installed at every
+// switch pointing one hop closer (priority = prefix length, so longest
+// prefix wins, matching IP longest-prefix-match semantics). This is the
+// "let the emulated hosts ping each other to populate the flow tables
+// with shortest-path forwarding rules" setup of §6.1.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace veridp {
+namespace routing {
+
+/// Per-switch next-hop ports toward `dst_switch` (BFS; ties broken by
+/// lower switch id then lower port). next_hop[s] is the out port at s,
+/// absent for unreachable switches; dst_switch itself is not included.
+std::unordered_map<SwitchId, PortId> bfs_next_hops(const Topology& topo,
+                                                   SwitchId dst_switch);
+
+/// Installs shortest-path dst-prefix rules for every attached subnet on
+/// every switch. Returns the ids of all installed rules.
+std::vector<RuleId> install_shortest_paths(Controller& c);
+
+/// ECMP-diversified variant: each switch picks its next hop toward a
+/// subnet among ALL equal-cost candidates by a hash of (switch, subnet),
+/// the way hashed multipath routing spreads destinations. Still loop-free
+/// (hop distance strictly decreases), but deviated packets bounced to a
+/// sibling switch usually continue over a different uplink instead of
+/// re-entering the faulty switch — matching the paper's Table-3 setting
+/// far better than a deterministic BFS tie-break.
+std::vector<RuleId> install_ecmp_shortest_paths(Controller& c,
+                                                std::uint64_t seed = 0);
+
+/// Reactive-style variant (§6.1: "we let the emulated hosts ping each
+/// other in order to populate the switches' flow tables"): rules for a
+/// subnet are installed only at switches that actually lie on some used
+/// shortest path — i.e., on the BFS-tree path from a switch with edge
+/// ports to the destination. Off-path switches get no rule and drop
+/// deviated packets, as a reactively-populated network would.
+std::vector<RuleId> install_used_shortest_paths(Controller& c);
+
+/// Fully reactive emulation: per-flow rules exactly like Floodlight's
+/// forwarding module installs them — one rule per (src subnet, dst
+/// subnet) pair at each switch on that pair's shortest path, matching
+/// (in_port, src, dst). A packet that deviates from its installed chain
+/// misses at the next switch (wrong in_port or off-path) and drops,
+/// which is why the paper's Table-3 localization succeeds so often:
+/// the real path is "prefix + one wrong hop + drop".
+std::vector<RuleId> install_per_flow_paths(Controller& c);
+
+/// The controller-intended path (sequence of hops) for a packet entering
+/// at `entry` and destined to dst, computed from the logical configs.
+/// Used by tests to compare against data-plane paths.
+std::vector<Hop> logical_path(const Controller& c, PortKey entry,
+                              const PacketHeader& h);
+
+}  // namespace routing
+}  // namespace veridp

@@ -1,0 +1,69 @@
+#include "dataplane/fault.hpp"
+
+namespace veridp {
+
+std::string FaultRecord::describe() const {
+  switch (kind) {
+    case FaultKind::kDropRule:
+      return "rule " + std::to_string(rule) + " dropped at S" +
+             std::to_string(sw);
+    case FaultKind::kRewriteOutput:
+      return "rule " + std::to_string(rule) + " at S" + std::to_string(sw) +
+             " rewired to port " + std::to_string(new_port);
+    case FaultKind::kReplaceWithDrop:
+      return "rule " + std::to_string(rule) + " at S" + std::to_string(sw) +
+             " replaced with drop";
+    case FaultKind::kExternalRule:
+      return "external rule " + std::to_string(rule) + " inserted at S" +
+             std::to_string(sw);
+    case FaultKind::kIgnorePriority:
+      return "S" + std::to_string(sw) + " ignores rule priorities";
+    case FaultKind::kRemoveAclEntry:
+      return "ACL entry removed at S" + std::to_string(sw);
+  }
+  return "unknown fault";
+}
+
+bool FaultInjector::drop_rule(SwitchId sw, RuleId id) {
+  if (!net_->at(sw).config().table.remove(id)) return false;
+  history_.push_back({FaultKind::kDropRule, sw, id, kDropPort});
+  return true;
+}
+
+bool FaultInjector::rewrite_rule_output(SwitchId sw, RuleId id,
+                                        PortId new_port) {
+  if (!net_->at(sw).config().table.set_action(id, Action::output(new_port)))
+    return false;
+  history_.push_back({FaultKind::kRewriteOutput, sw, id, new_port});
+  return true;
+}
+
+bool FaultInjector::replace_with_drop(SwitchId sw, RuleId id) {
+  if (!net_->at(sw).config().table.set_action(id, Action::drop()))
+    return false;
+  history_.push_back({FaultKind::kReplaceWithDrop, sw, id, kDropPort});
+  return true;
+}
+
+void FaultInjector::insert_external_rule(SwitchId sw, const FlowRule& rule) {
+  net_->at(sw).config().table.add(rule);
+  history_.push_back({FaultKind::kExternalRule, sw, rule.id, rule.action.out});
+}
+
+void FaultInjector::ignore_priority(SwitchId sw, bool on) {
+  net_->at(sw).config().table.ignore_priority(on);
+  history_.push_back({FaultKind::kIgnorePriority, sw, kNoRule, kDropPort});
+}
+
+bool FaultInjector::remove_acl_entry(SwitchId sw, PortId port, bool inbound,
+                                     std::size_t index) {
+  auto& acls = inbound ? net_->at(sw).config().in_acls
+                       : net_->at(sw).config().out_acls;
+  auto it = acls.find(port);
+  if (it == acls.end() || index >= it->second.entries().size()) return false;
+  it->second.remove_entry(index);
+  history_.push_back({FaultKind::kRemoveAclEntry, sw, kNoRule, port});
+  return true;
+}
+
+}  // namespace veridp

@@ -1,0 +1,79 @@
+// Data-plane fault injection — the §2.2 failure causes, made reproducible.
+//
+// Every injector method corrupts the *physical* configuration of one
+// switch while leaving the controller's logical view untouched, creating
+// exactly the control-data plane inconsistency VeriDP monitors:
+//
+//   * drop_rule            — rule silently not installed (lost update /
+//                            early Barrier reply, §2.2 "lack of ack")
+//   * rewrite_rule_output  — rule forwards to the wrong port (switch
+//                            software bug)
+//   * replace_with_drop    — rule blackholes traffic
+//   * insert_external_rule — rule added behind the controller's back
+//                            (dpctl / compromised switch OS)
+//   * ignore_priority      — flow table stops honoring priorities (the
+//                            HP 5406zl behaviour)
+//   * remove_acl_entry     — ACL entry lost (access violation, §6.2)
+//
+// Injected faults are recorded so experiments can score detection and
+// localization against ground truth (Table 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataplane/network.hpp"
+
+namespace veridp {
+
+enum class FaultKind {
+  kDropRule,
+  kRewriteOutput,
+  kReplaceWithDrop,
+  kExternalRule,
+  kIgnorePriority,
+  kRemoveAclEntry,
+};
+
+struct FaultRecord {
+  FaultKind kind;
+  SwitchId sw = kNoSwitch;
+  RuleId rule = kNoRule;
+  PortId new_port = kDropPort;  // for kRewriteOutput
+  std::string describe() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Network& net) : net_(&net) {}
+
+  /// Removes rule `id` from the physical table of `sw`.
+  /// Returns false if the rule is not installed there.
+  bool drop_rule(SwitchId sw, RuleId id);
+
+  /// Points rule `id` at a different output port.
+  bool rewrite_rule_output(SwitchId sw, RuleId id, PortId new_port);
+
+  /// Replaces the action of rule `id` with drop.
+  bool replace_with_drop(SwitchId sw, RuleId id);
+
+  /// Installs a rule the controller knows nothing about.
+  void insert_external_rule(SwitchId sw, const FlowRule& rule);
+
+  /// Makes the switch's lookup ignore rule priorities.
+  void ignore_priority(SwitchId sw, bool on = true);
+
+  /// Deletes entry `index` from the in/out ACL at a port.
+  bool remove_acl_entry(SwitchId sw, PortId port, bool inbound,
+                        std::size_t index);
+
+  [[nodiscard]] const std::vector<FaultRecord>& history() const {
+    return history_;
+  }
+
+ private:
+  Network* net_;
+  std::vector<FaultRecord> history_;
+};
+
+}  // namespace veridp

@@ -1,0 +1,76 @@
+// The simulated data plane: a topology populated with switches, packet
+// injection, hop-by-hop forwarding, and delivery of tag reports.
+//
+// This replaces the paper's Mininet + Open vSwitch testbed (DESIGN.md
+// substitution #3). Forwarding is synchronous: `inject` walks the packet
+// through switches until it is delivered at an edge port, dropped, or its
+// VeriDP TTL expires (which is how data-plane loops terminate, §6.2).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dataplane/switch.hpp"
+#include "topo/topology.hpp"
+
+namespace veridp {
+
+/// What happened to an injected packet.
+enum class Disposition {
+  kDelivered,   ///< reached an edge port (left the network to a host)
+  kDropped,     ///< hit ⊥ (ACL deny, table miss, or drop rule)
+  kTtlExpired,  ///< VeriDP TTL hit zero (data-plane loop)
+};
+
+/// The observable outcome of one packet injection.
+struct ForwardResult {
+  Disposition disposition = Disposition::kDropped;
+  std::vector<Hop> path;          ///< the real data-plane path
+  PortKey exit{};                 ///< final <switch, outport> (out == ⊥ if dropped)
+  bool sampled = false;           ///< did the entry switch mark the packet?
+  std::vector<TagReport> reports; ///< tag reports emitted along the way
+};
+
+class Network {
+ public:
+  /// Builds a switch for every node of `topo`. `tag_bits` configures all
+  /// VeriDP pipelines.
+  explicit Network(Topology topo, int tag_bits = BloomTag::kDefaultBits);
+
+  [[nodiscard]] Topology& topology() { return topo_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+
+  [[nodiscard]] Switch& at(SwitchId s) {
+    return switches_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const Switch& at(SwitchId s) const {
+    return switches_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] int tag_bits() const { return tag_bits_; }
+
+  /// Optional sink invoked for every tag report as it is emitted (the
+  /// UDP channel to the VeriDP server). Reports are also returned in the
+  /// ForwardResult regardless.
+  void set_report_sink(std::function<void(const TagReport&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Injects a packet with header `h` at edge port `entry` at time `t`
+  /// and forwards it to completion.
+  ForwardResult inject(const PacketHeader& h, PortKey entry, double t = 0.0,
+                       std::uint32_t size_bytes = 512);
+
+  /// Injects at the edge port owning h.src_ip (via attached subnets).
+  /// Returns nullopt if no subnet covers the source address.
+  std::optional<ForwardResult> inject_from_source(const PacketHeader& h,
+                                                  double t = 0.0);
+
+ private:
+  Topology topo_;
+  int tag_bits_;
+  std::vector<Switch> switches_;
+  std::function<void(const TagReport&)> sink_;
+};
+
+}  // namespace veridp

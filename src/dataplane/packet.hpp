@@ -1,0 +1,49 @@
+// Data-plane packet representation and tag reports.
+//
+// VeriDP adds three fields to sampled packets (§5): a 1-bit marker (IP TOS
+// bit), the Bloom-filter tag (first VLAN TCI) and the 14-bit entry-port id
+// (second VLAN TCI, 8 bits switch + 6 bits port). We model those fields
+// directly; `encode_inport`/`decode_inport` implement the paper's packing
+// so its width limits are honored and tested.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "bloom/bloom.hpp"
+#include "common/types.hpp"
+#include "header/packet_header.hpp"
+
+namespace veridp {
+
+/// Maximum path length — initial value of the VeriDP TTL (Algorithm 1).
+inline constexpr int kMaxPathLength = 16;
+
+/// Packs a PortKey into the paper's 14-bit inport id (8b switch, 6b port).
+/// Callers must respect the limits (256 switches, 63 ports); asserted.
+std::uint16_t encode_inport(PortKey p);
+PortKey decode_inport(std::uint16_t id);
+
+/// A packet in flight: its 5-tuple plus the VeriDP shim fields.
+struct Packet {
+  PacketHeader header;
+  std::uint32_t size_bytes = 512;  ///< wire size (Table-4 overhead bench)
+
+  // VeriDP shim (present only when marker is set).
+  bool marker = false;  ///< sampled for verification?
+  BloomTag tag{BloomTag::kDefaultBits};
+  int ttl = 0;
+  PortKey entry{};  ///< entry port recorded at the entry switch
+};
+
+/// A tag report <inport, outport, header, tag> (§3.3), sent by exit
+/// switches (and by switches that drop a sampled packet or see TTL 0) to
+/// the VeriDP server over plain UDP in the prototype.
+struct TagReport {
+  PortKey inport;
+  PortKey outport;
+  PacketHeader header;
+  BloomTag tag{BloomTag::kDefaultBits};
+};
+
+}  // namespace veridp

@@ -1,0 +1,55 @@
+// The VeriDP pipeline (Algorithm 1): sampling at entry switches, tag
+// update at every switch, tag reports at exit/drop/TTL-expiry.
+//
+// The pipeline is kept separate from the OpenFlow pipeline (flow-table
+// lookup) on purpose, mirroring §3.3: faults in flow tables must not be
+// able to corrupt the tagging path. It therefore receives the forwarding
+// *decision* (x, y) as input and never consults the flow table itself.
+#pragma once
+
+#include <optional>
+
+#include "dataplane/packet.hpp"
+#include "dataplane/sampler.hpp"
+
+namespace veridp {
+
+/// Per-switch VeriDP fast-path.
+class VeriDpPipeline {
+ public:
+  /// `tag_bits` is the Bloom-filter width (Fig. 12 sweeps it).
+  explicit VeriDpPipeline(SwitchId sw, int tag_bits = BloomTag::kDefaultBits,
+                          double sample_interval = 0.0)
+      : sw_(sw), tag_bits_(tag_bits), sampler_(sample_interval) {}
+
+  /// Runs Algorithm 1 for packet `p` being forwarded from local port `x`
+  /// to local port `y` (y == kDropPort for ⊥) at time `t`. `arrival` is
+  /// the header as received (Figure 10 places sampling before the
+  /// OpenFlow pipeline, i.e. before any set-field action); p.header is
+  /// the possibly-rewritten header the report will carry.
+  ///
+  /// `x_is_edge`/`y_is_edge` tell the pipeline whether those local ports
+  /// are edge ports. Returns the tag report to emit, if any. On return,
+  /// `continue_forwarding` (the return's second meaning) is implied by
+  /// the packet state: callers stop when y is a drop port, y is an edge
+  /// port, or p.ttl reached 0.
+  std::optional<TagReport> process(Packet& p, const PacketHeader& arrival,
+                                   PortId x, PortId y, bool x_is_edge,
+                                   bool y_is_edge, double t);
+
+  [[nodiscard]] FlowSampler& sampler() { return sampler_; }
+  [[nodiscard]] int tag_bits() const { return tag_bits_; }
+
+  /// Statistics: how many packets this pipeline sampled / reported.
+  [[nodiscard]] std::uint64_t sampled_count() const { return sampled_; }
+  [[nodiscard]] std::uint64_t report_count() const { return reports_; }
+
+ private:
+  SwitchId sw_;
+  int tag_bits_;
+  FlowSampler sampler_;
+  std::uint64_t sampled_ = 0;
+  std::uint64_t reports_ = 0;
+};
+
+}  // namespace veridp

@@ -1,0 +1,79 @@
+// Per-flow traffic sampling at entry switches (paper §4.5).
+//
+// Each flow f (identified by its 5-tuple) has a sampling interval T_s^f;
+// the entry switch keeps the last sampling instant t^f and marks a packet
+// arriving at time t iff t - t^f > T_s^f. Choosing T_s^f <= tau - T_a^f
+// (T_a^f = max inter-packet gap) bounds fault-detection latency by tau —
+// `interval_for_latency` encodes that rule.
+//
+// Two implementations are provided, matching the paper's two prototypes:
+//  * FlowSampler — hash table of active flows (the Open vSwitch pipeline),
+//  * ArrayFlowSampler — fixed-capacity array with last-hit-based
+//    replacement (the FPGA/ONetSwitch pipeline, which cannot grow state).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "header/packet_header.hpp"
+
+namespace veridp {
+
+/// Chooses T_s so that detection latency <= tau given the flow's maximum
+/// inter-packet-arrival time T_a (returns 0, sample-everything, if the
+/// latency target is tighter than the arrival gap allows).
+inline double interval_for_latency(double tau, double max_arrival_gap) {
+  const double ts = tau - max_arrival_gap;
+  return ts > 0.0 ? ts : 0.0;
+}
+
+/// Hash-table flow sampler (software pipeline).
+class FlowSampler {
+ public:
+  /// `default_interval` is T_s for flows without an explicit setting.
+  /// An interval of 0 samples every packet.
+  explicit FlowSampler(double default_interval = 0.0)
+      : default_interval_(default_interval) {}
+
+  /// Sets T_s^f for one flow.
+  void set_interval(const PacketHeader& flow, double interval) {
+    intervals_[flow] = interval;
+  }
+
+  /// Should the packet arriving at time `t` be marked? Updates t^f.
+  bool sample(const PacketHeader& flow, double t);
+
+  [[nodiscard]] std::size_t active_flows() const { return last_.size(); }
+  void clear() { last_.clear(); }
+
+ private:
+  double default_interval_;
+  std::unordered_map<PacketHeader, double> intervals_;
+  std::unordered_map<PacketHeader, double> last_;
+};
+
+/// Fixed-capacity flow sampler (hardware pipeline): an array of slots,
+/// each holding a flow, its last sampling instant and a last-hit instant;
+/// on overflow the least-recently-hit slot is evicted.
+class ArrayFlowSampler {
+ public:
+  explicit ArrayFlowSampler(std::size_t capacity, double interval = 0.0)
+      : interval_(interval), slots_(capacity) {}
+
+  bool sample(const PacketHeader& flow, double t);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  [[nodiscard]] std::size_t occupied() const;
+
+ private:
+  struct Slot {
+    bool used = false;
+    PacketHeader flow;
+    double last_sampled = 0.0;
+    double last_hit = 0.0;
+  };
+  double interval_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace veridp

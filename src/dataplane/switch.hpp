@@ -1,0 +1,57 @@
+// Data-plane switch: the OpenFlow pipeline (ACLs + prioritized flow-table
+// lookup) plus the attached VeriDP pipeline.
+//
+// The switch holds the *physical* configuration R'. The controller's
+// logical configuration R lives in controller/Controller; divergence
+// between them (injected by dataplane/fault.hpp) is exactly what VeriDP
+// must detect.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/pipeline.hpp"
+#include "flow/switch_config.hpp"
+
+namespace veridp {
+
+class Switch {
+ public:
+  Switch(SwitchId id, PortId num_ports,
+         int tag_bits = BloomTag::kDefaultBits)
+      : id_(id), num_ports_(num_ports), pipeline_(id, tag_bits) {}
+
+  [[nodiscard]] SwitchId id() const { return id_; }
+  [[nodiscard]] PortId num_ports() const { return num_ports_; }
+
+  [[nodiscard]] SwitchConfig& config() { return config_; }
+  [[nodiscard]] const SwitchConfig& config() const { return config_; }
+
+  [[nodiscard]] VeriDpPipeline& pipeline() { return pipeline_; }
+
+  /// The OpenFlow pipeline's forwarding decision for a packet received on
+  /// local port `x`: applies the in-bound ACL, the flow table, the
+  /// out-bound ACL (on the pre-rewrite header — rewrites happen at
+  /// egress), then any set-field actions, which mutate `h`. Returns the
+  /// output port, or kDropPort.
+  [[nodiscard]] PortId forward(PacketHeader& h, PortId x) const;
+
+  /// Decision-only variant for callers that must not see rewrites.
+  [[nodiscard]] PortId forward_decision(const PacketHeader& h,
+                                        PortId x) const {
+    PacketHeader copy = h;
+    return forward(copy, x);
+  }
+
+  /// Packets processed by this switch (all, sampled or not).
+  [[nodiscard]] std::uint64_t packets_seen() const { return packets_; }
+  void count_packet() { ++packets_; }
+
+ private:
+  SwitchId id_;
+  PortId num_ports_;
+  SwitchConfig config_;
+  VeriDpPipeline pipeline_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace veridp

@@ -1,0 +1,175 @@
+#include "dataplane/wire.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace veridp {
+namespace wire {
+
+namespace {
+
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint8_t kReportMagic = 0x56;  // 'V' for VeriDP
+
+void put16(std::vector<std::uint8_t>& b, std::size_t at, std::uint16_t v) {
+  b[at] = static_cast<std::uint8_t>(v >> 8);
+  b[at + 1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+void put32(std::vector<std::uint8_t>& b, std::size_t at, std::uint32_t v) {
+  put16(b, at, static_cast<std::uint16_t>(v >> 16));
+  put16(b, at + 2, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+std::uint16_t get16(const std::vector<std::uint8_t>& b, std::size_t at) {
+  return static_cast<std::uint16_t>((b[at] << 8) | b[at + 1]);
+}
+std::uint32_t get32(const std::vector<std::uint8_t>& b, std::size_t at) {
+  return (static_cast<std::uint32_t>(get16(b, at)) << 16) | get16(b, at + 2);
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2)
+    sum += static_cast<std::uint32_t>((data[i] << 8) | data[i + 1]);
+  if (len & 1) sum += static_cast<std::uint32_t>(data[len - 1] << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::vector<std::uint8_t> encode_frame(const Packet& p,
+                                       std::size_t frame_size) {
+  const bool shim = p.marker;
+  const std::size_t headers = kEthernetHeader + (shim ? kVlanShim : 0) +
+                              kIpv4Header + kL4Header;
+  assert(frame_size >= headers);
+  assert(p.tag.bits() <= 16);
+  std::vector<std::uint8_t> b(std::max(frame_size, headers), 0);
+
+  // Ethernet: synthetic MACs derived from the 5-tuple (diagnostics only).
+  std::size_t at = 0;
+  b[0] = 0x02;  // locally administered
+  put32(b, 1, p.header.src_ip.value);
+  b[6] = 0x02;
+  put32(b, 7, p.header.dst_ip.value);
+  at = 12;
+
+  if (shim) {
+    put16(b, at, kTpidSTag);
+    put16(b, at + 2, static_cast<std::uint16_t>(p.tag.value()));  // tag TCI
+    put16(b, at + 4, kTpidCTag);
+    put16(b, at + 6, encode_inport(p.entry));  // 14-bit inport TCI
+    at += kVlanShim;
+  }
+  put16(b, at, kEtherTypeIpv4);
+  at += 2;
+
+  // IPv4 header.
+  const std::size_t ip = at;
+  b[ip] = 0x45;  // version 4, IHL 5
+  b[ip + 1] = shim ? kTosMarkerBit : 0;  // the §5 marker bit in TOS
+  put16(b, ip + 2,
+        static_cast<std::uint16_t>(b.size() - ip));  // total length
+  put16(b, ip + 4, 0);                               // identification
+  put16(b, ip + 6, 0x4000);                          // DF
+  b[ip + 8] = static_cast<std::uint8_t>(
+      p.marker ? std::max(p.ttl, 1) : 64);           // TTL
+  b[ip + 9] = p.header.proto;
+  put16(b, ip + 10, 0);  // checksum placeholder
+  put32(b, ip + 12, p.header.src_ip.value);
+  put32(b, ip + 16, p.header.dst_ip.value);
+  put16(b, ip + 10, internet_checksum(b.data() + ip, kIpv4Header));
+
+  // L4 (TCP/UDP prefix): ports, length, zero checksum.
+  const std::size_t l4 = ip + kIpv4Header;
+  put16(b, l4, p.header.src_port);
+  put16(b, l4 + 2, p.header.dst_port);
+  put16(b, l4 + 4, static_cast<std::uint16_t>(b.size() - l4));
+  put16(b, l4 + 6, 0);
+  return b;
+}
+
+std::optional<Packet> decode_frame(const std::vector<std::uint8_t>& b) {
+  if (b.size() < kEthernetHeader + kIpv4Header + kL4Header)
+    return std::nullopt;
+  std::size_t at = 12;
+  Packet p;
+  bool shim = false;
+  if (get16(b, at) == kTpidSTag) {
+    if (b.size() < kEthernetHeader + kVlanShim + kIpv4Header + kL4Header)
+      return std::nullopt;
+    if (get16(b, at + 4) != kTpidCTag) return std::nullopt;
+    shim = true;
+    p.tag = BloomTag::from_raw(get16(b, at + 2), 16);  // S-tag TCI
+    p.entry = decode_inport(get16(b, at + 6));         // C-tag TCI
+    at += kVlanShim;
+  }
+  if (get16(b, at) != kEtherTypeIpv4) return std::nullopt;
+  at += 2;
+
+  const std::size_t ip = at;
+  if ((b[ip] >> 4) != 4 || (b[ip] & 0x0F) != 5) return std::nullopt;
+  if (internet_checksum(b.data() + ip, kIpv4Header) != 0)
+    return std::nullopt;  // header corrupt
+  const bool marker = (b[ip + 1] & kTosMarkerBit) != 0;
+  if (marker != shim) return std::nullopt;  // marker without shim (or v.v.)
+  p.marker = marker;
+  if (marker) p.ttl = b[ip + 8];
+  p.header.proto = b[ip + 9];
+  p.header.src_ip = Ipv4{get32(b, ip + 12)};
+  p.header.dst_ip = Ipv4{get32(b, ip + 16)};
+  const std::size_t l4 = ip + kIpv4Header;
+  p.header.src_port = get16(b, l4);
+  p.header.dst_port = get16(b, l4 + 2);
+  p.size_bytes = static_cast<std::uint32_t>(b.size());
+  return p;
+}
+
+std::vector<std::uint8_t> encode_report(const TagReport& r) {
+  // Layout (network byte order):
+  //   0  magic 0xVD ('V'^'D' — see kReportMagic), version 1
+  //   2  tag bits (1B) | reserved (1B)
+  //   4  inport: switch (4B), port (4B)
+  //  12  outport: switch (4B), port (4B)
+  //  20  tag value (8B)
+  //  28  header: src(4) dst(4) proto(1) sport(2) dport(2)
+  //  41  total
+  std::vector<std::uint8_t> b(41, 0);
+  b[0] = kReportMagic;
+  b[1] = 1;
+  b[2] = static_cast<std::uint8_t>(r.tag.bits());
+  put32(b, 4, r.inport.sw);
+  put32(b, 8, r.inport.port);
+  put32(b, 12, r.outport.sw);
+  put32(b, 16, r.outport.port);
+  put32(b, 20, static_cast<std::uint32_t>(r.tag.value() >> 32));
+  put32(b, 24, static_cast<std::uint32_t>(r.tag.value() & 0xFFFFFFFF));
+  put32(b, 28, r.header.src_ip.value);
+  put32(b, 32, r.header.dst_ip.value);
+  b[36] = r.header.proto;
+  put16(b, 37, r.header.src_port);
+  put16(b, 39, r.header.dst_port);
+  return b;
+}
+
+std::optional<TagReport> decode_report(const std::vector<std::uint8_t>& b) {
+  if (b.size() != 41 || b[0] != kReportMagic || b[1] != 1)
+    return std::nullopt;
+  const int bits = b[2];
+  if (bits < 1 || bits > 64) return std::nullopt;
+  TagReport r;
+  r.inport = PortKey{get32(b, 4), get32(b, 8)};
+  r.outport = PortKey{get32(b, 12), get32(b, 16)};
+  const std::uint64_t tag_value =
+      (static_cast<std::uint64_t>(get32(b, 20)) << 32) | get32(b, 24);
+  r.tag = BloomTag::from_raw(tag_value, bits);
+  r.header.src_ip = Ipv4{get32(b, 28)};
+  r.header.dst_ip = Ipv4{get32(b, 32)};
+  r.header.proto = b[36];
+  r.header.src_port = get16(b, 37);
+  r.header.dst_port = get16(b, 39);
+  return r;
+}
+
+}  // namespace wire
+}  // namespace veridp

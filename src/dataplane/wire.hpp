@@ -1,0 +1,66 @@
+// Wire formats (paper §5, "Packet format"):
+//
+//   "For each data packet, VeriDP inserts three additional fields:
+//    marker, tag, and inport. marker is a single bit carried in the IP
+//    TOS field ...; tag is a 16-bit Bloom filter ... carried in the
+//    first VLAN tag; inport is a 14-bit identifier of the entry port
+//    (8 for switch ID and 6 for port ID), carried in the second VLAN
+//    tag. [Footnote: double VLAN tags are supported by 802.1ad; each
+//    tag has a 2-byte TCI.] Tag reports ... are encapsulated with plain
+//    UDP packets."
+//
+// This module realizes those encodings byte-for-byte so the simulator's
+// abstract Packet/TagReport types have a concrete, testable on-the-wire
+// representation: an Ethernet frame with an 802.1ad S-tag (the Bloom
+// tag), an 802.1Q C-tag (the 14-bit inport), the marker bit in the IPv4
+// TOS, and a fixed UDP payload layout for tag reports. IPv4 checksums
+// are computed and validated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dataplane/packet.hpp"
+
+namespace veridp {
+namespace wire {
+
+/// 802.1ad service-tag TPID (carries the Bloom tag in its TCI).
+inline constexpr std::uint16_t kTpidSTag = 0x88A8;
+/// 802.1Q customer-tag TPID (carries the 14-bit inport in its TCI).
+inline constexpr std::uint16_t kTpidCTag = 0x8100;
+/// The marker bit inside the IPv4 TOS byte.
+inline constexpr std::uint8_t kTosMarkerBit = 0x04;
+
+/// Fixed sizes of the frame layout produced by encode_frame.
+inline constexpr std::size_t kEthernetHeader = 14;  // dst, src, ethertype
+inline constexpr std::size_t kVlanShim = 8;         // two TPID+TCI pairs
+inline constexpr std::size_t kIpv4Header = 20;
+inline constexpr std::size_t kL4Header = 8;         // ports, len, checksum
+
+/// Serializes a packet (5-tuple + VeriDP shim) into an Ethernet frame of
+/// exactly `frame_size` bytes (payload zero-filled). The VLAN shim is
+/// present iff the packet carries the marker. Requires: frame_size large
+/// enough for all headers; tag width <= 16 bits; inport encodable in 14
+/// bits (see encode_inport).
+std::vector<std::uint8_t> encode_frame(const Packet& p,
+                                       std::size_t frame_size = 128);
+
+/// Parses a frame produced by encode_frame (or a hand-crafted one).
+/// Returns nullopt on malformed input: truncated headers, bad IPv4
+/// checksum, unknown ethertype, or a marker bit without the VLAN shim.
+std::optional<Packet> decode_frame(const std::vector<std::uint8_t>& bytes);
+
+/// The fixed 41-byte UDP payload of a tag report
+/// <inport, outport, header, tag> (§3.3).
+std::vector<std::uint8_t> encode_report(const TagReport& r);
+
+/// Parses a report payload; nullopt on bad magic/length.
+std::optional<TagReport> decode_report(const std::vector<std::uint8_t>& b);
+
+/// RFC 1071 Internet checksum over `data` (used for the IPv4 header).
+std::uint16_t internet_checksum(const std::uint8_t* data, std::size_t len);
+
+}  // namespace wire
+}  // namespace veridp

@@ -1,0 +1,26 @@
+#include "flow/acl.hpp"
+
+namespace veridp {
+
+bool Acl::permits(const PacketHeader& h) const {
+  for (const AclEntry& e : entries_)
+    if (e.match.matches(h)) return e.permit;
+  return default_permit_;
+}
+
+HeaderSet Acl::permitted(const HeaderSpace& space) const {
+  // First-match semantics: walk entries in order, tracking the headers not
+  // yet decided; permitted = union of (entry match minus earlier matches)
+  // over permit entries, plus the undecided remainder if default-permit.
+  HeaderSet undecided = space.all();
+  HeaderSet allowed = space.none();
+  for (const AclEntry& e : entries_) {
+    const HeaderSet hit = e.match.to_header_set(space) & undecided;
+    if (e.permit) allowed |= hit;
+    undecided -= hit;
+  }
+  if (default_permit_) allowed |= undecided;
+  return allowed;
+}
+
+}  // namespace veridp

@@ -1,0 +1,58 @@
+// Access-control lists, attached per port in in-bound and out-bound
+// direction (mirroring the Cisco-config model §4.1 translates from).
+//
+// An ACL is an ordered list of permit/deny entries with an implicit
+// default. Its permitted set converts to a HeaderSet, which is the
+// P^in_x / P^out_y term of the transfer predicates.
+#pragma once
+
+#include <vector>
+
+#include "flow/match.hpp"
+
+namespace veridp {
+
+struct AclEntry {
+  Match match;
+  bool permit = true;
+};
+
+class Acl {
+ public:
+  /// An ACL that permits everything (also the meaning of "no ACL").
+  Acl() = default;
+  explicit Acl(bool default_permit) : default_permit_(default_permit) {}
+
+  Acl& permit(const Match& m) {
+    entries_.push_back({m, true});
+    return *this;
+  }
+  Acl& deny(const Match& m) {
+    entries_.push_back({m, false});
+    return *this;
+  }
+
+  /// Removes the i-th entry (used by fault injection: "delete an ACL rule").
+  void remove_entry(std::size_t i) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  /// First-match evaluation against a concrete header.
+  [[nodiscard]] bool permits(const PacketHeader& h) const;
+
+  /// The permitted header set (first-match semantics, BDD-composed).
+  [[nodiscard]] HeaderSet permitted(const HeaderSpace& space) const;
+
+  [[nodiscard]] const std::vector<AclEntry>& entries() const {
+    return entries_;
+  }
+  [[nodiscard]] bool trivially_permits_all() const {
+    return entries_.empty() && default_permit_;
+  }
+
+ private:
+  std::vector<AclEntry> entries_;
+  bool default_permit_ = true;
+};
+
+}  // namespace veridp

@@ -1,0 +1,62 @@
+#include "flow/flow_table.hpp"
+
+#include <algorithm>
+
+namespace veridp {
+
+void FlowTable::add(const FlowRule& rule) {
+  // Insert after the last rule with priority >= rule.priority, so equal
+  // priorities keep insertion order.
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), rule.priority,
+      [](std::int32_t prio, const FlowRule& r) { return prio > r.priority; });
+  rules_.insert(pos, rule);
+  order_.push_back(rule.id);
+}
+
+std::optional<FlowRule> FlowTable::remove(RuleId id) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [id](const FlowRule& r) { return r.id == id; });
+  if (it == rules_.end()) return std::nullopt;
+  FlowRule removed = *it;
+  rules_.erase(it);
+  order_.erase(std::find(order_.begin(), order_.end(), id));
+  return removed;
+}
+
+bool FlowTable::set_action(RuleId id, Action a) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [id](const FlowRule& r) { return r.id == id; });
+  if (it == rules_.end()) return false;
+  it->action = a;
+  return true;
+}
+
+const FlowRule* FlowTable::lookup(const PacketHeader& h,
+                                  PortId in_port) const {
+  if (ignore_priority_) {
+    // Broken mode: first *inserted* match wins (no priority support).
+    for (RuleId id : order_) {
+      const FlowRule* r = find(id);
+      if (r && r->match.applies_at(in_port) && r->match.matches(h)) return r;
+    }
+    return nullptr;
+  }
+  for (const FlowRule& r : rules_)
+    if (r.match.applies_at(in_port) && r.match.matches(h)) return &r;
+  return nullptr;
+}
+
+bool FlowTable::has_in_port_rules() const {
+  for (const FlowRule& r : rules_)
+    if (r.match.in_port) return true;
+  return false;
+}
+
+const FlowRule* FlowTable::find(RuleId id) const {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [id](const FlowRule& r) { return r.id == id; });
+  return it == rules_.end() ? nullptr : &*it;
+}
+
+}  // namespace veridp

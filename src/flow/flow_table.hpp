@@ -1,0 +1,63 @@
+// A prioritized flow table, the per-switch forwarding state.
+//
+// Lookup returns the highest-priority matching rule (ties broken by
+// insertion order, like OpenFlow implementations that keep stable order
+// within a priority). The table also supports a deliberately broken
+// lookup mode that ignores priorities — modelling the HP ProCurve 5406zl
+// behaviour the paper cites (§2.2, "premature switch implementation") —
+// which the fault injector can enable.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "flow/rule.hpp"
+
+namespace veridp {
+
+class FlowTable {
+ public:
+  /// Inserts a rule; keeps the table sorted by descending priority.
+  void add(const FlowRule& rule);
+
+  /// Removes the rule with this id; returns the removed rule if present.
+  std::optional<FlowRule> remove(RuleId id);
+
+  /// Replaces the action of rule `id`; returns false if absent.
+  bool set_action(RuleId id, Action a);
+
+  /// Highest-priority rule matching `h` received on `in_port`, or
+  /// nullptr for a table miss. With `ignore_priority(true)`, the *oldest
+  /// inserted* matching rule is returned instead, regardless of priority.
+  [[nodiscard]] const FlowRule* lookup(const PacketHeader& h,
+                                       PortId in_port = kAnyInPort) const;
+
+  /// Convenience: the output port for `h` (kDropPort on miss or drop rule).
+  [[nodiscard]] PortId lookup_port(const PacketHeader& h,
+                                   PortId in_port = kAnyInPort) const {
+    const FlowRule* r = lookup(h, in_port);
+    return r ? r->action.out : kDropPort;
+  }
+
+  /// True if any rule matches on in_port (transfer predicates then become
+  /// per-input-port).
+  [[nodiscard]] bool has_in_port_rules() const;
+
+  [[nodiscard]] const FlowRule* find(RuleId id) const;
+
+  /// Rules in descending-priority order.
+  [[nodiscard]] const std::vector<FlowRule>& rules() const { return rules_; }
+  [[nodiscard]] std::size_t size() const { return rules_.size(); }
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  void clear() { rules_.clear(); order_.clear(); }
+
+  void ignore_priority(bool on) { ignore_priority_ = on; }
+  [[nodiscard]] bool priority_ignored() const { return ignore_priority_; }
+
+ private:
+  std::vector<FlowRule> rules_;   // descending priority, stable
+  std::vector<RuleId> order_;     // insertion order (for the broken mode)
+  bool ignore_priority_ = false;
+};
+
+}  // namespace veridp

@@ -1,0 +1,65 @@
+// Flow-rule match fields over the 5-tuple: IPv4 prefixes for src/dst and
+// optional exact protocol / transport ports. This is the match model of
+// both forwarding rules and ACL rules; it converts losslessly into a
+// HeaderSet for control-plane analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/ip.hpp"
+#include "common/types.hpp"
+#include "header/header_set.hpp"
+#include "header/packet_header.hpp"
+
+namespace veridp {
+
+/// Pseudo in-port used by lookups that have no port context; rules
+/// constrained to a specific in_port never apply to it.
+inline constexpr PortId kAnyInPort = 0;
+
+struct Match {
+  Prefix src{};  ///< /0 = wildcard
+  Prefix dst{};  ///< /0 = wildcard
+  std::optional<std::uint8_t> proto;
+  std::optional<std::uint16_t> src_port;
+  std::optional<std::uint16_t> dst_port;
+  /// OpenFlow in_port match: the rule applies only to packets received
+  /// on this local port (Figure 5's middlebox-steering rules need it).
+  std::optional<PortId> in_port;
+
+  friend bool operator==(const Match&, const Match&) = default;
+
+  /// The wildcard match (matches every packet).
+  static Match any() { return Match{}; }
+  /// Match on destination prefix only — the rule form §4.4's incremental
+  /// update handles.
+  static Match dst_prefix(const Prefix& p) {
+    Match m;
+    m.dst = p;
+    return m;
+  }
+
+  /// Exact-evaluation against a concrete header (data-plane lookup).
+  /// Does NOT consider in_port; see applies_at.
+  [[nodiscard]] bool matches(const PacketHeader& h) const;
+
+  /// True if the rule applies to packets arriving on local port `x`.
+  [[nodiscard]] bool applies_at(PortId x) const {
+    return !in_port || *in_port == x;
+  }
+
+  /// True if only the dst prefix is constrained.
+  [[nodiscard]] bool is_dst_prefix_only() const {
+    return src.is_any() && !proto && !src_port && !dst_port && !in_port;
+  }
+
+  /// The set of headers this match covers (in_port is not part of the
+  /// header space; callers combine it via applies_at).
+  [[nodiscard]] HeaderSet to_header_set(const HeaderSpace& space) const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace veridp

@@ -1,0 +1,33 @@
+#include "flow/rule.hpp"
+
+namespace veridp {
+
+void Rewrite::apply(PacketHeader& h) const {
+  for (const auto& [f, v] : sets) {
+    switch (f) {
+      case Field::SrcIp:
+        h.src_ip = Ipv4{static_cast<std::uint32_t>(v)};
+        break;
+      case Field::DstIp:
+        h.dst_ip = Ipv4{static_cast<std::uint32_t>(v)};
+        break;
+      case Field::Proto:
+        h.proto = static_cast<std::uint8_t>(v);
+        break;
+      case Field::SrcPort:
+        h.src_port = static_cast<std::uint16_t>(v);
+        break;
+      case Field::DstPort:
+        h.dst_port = static_cast<std::uint16_t>(v);
+        break;
+    }
+  }
+}
+
+HeaderSet Rewrite::apply_to_set(const HeaderSet& s) const {
+  HeaderSet out = s;
+  for (const auto& [f, v] : sets) out = out.set_field(f, v);
+  return out;
+}
+
+}  // namespace veridp

@@ -1,0 +1,84 @@
+// Forwarding rules and actions.
+//
+// A rule either outputs to a local port or drops (the paper's ⊥ port).
+// Rules carry a priority (higher wins, OpenFlow semantics) and a stable id
+// used by the controller/server to reference them in updates and by the
+// fault injector to corrupt specific rules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "flow/match.hpp"
+
+namespace veridp {
+
+/// An OpenFlow-style set-field action list (the header-rewrite
+/// extension, paper §8 future work #1): each entry overwrites one
+/// header field before the packet is output. Applied in order; a later
+/// set of the same field wins.
+struct Rewrite {
+  std::vector<std::pair<Field, std::uint64_t>> sets;
+
+  [[nodiscard]] bool empty() const { return sets.empty(); }
+
+  Rewrite& set(Field f, std::uint64_t v) {
+    sets.emplace_back(f, v);
+    return *this;
+  }
+  static Rewrite dst_ip(Ipv4 ip) {
+    return Rewrite{}.set(Field::DstIp, ip.value);
+  }
+  static Rewrite src_ip(Ipv4 ip) {
+    return Rewrite{}.set(Field::SrcIp, ip.value);
+  }
+
+  /// Applies the rewrites to a concrete header (data-plane semantics).
+  void apply(PacketHeader& h) const;
+
+  /// The image of a header set under the rewrites (control-plane
+  /// semantics, used by the path-table traversal).
+  [[nodiscard]] HeaderSet apply_to_set(const HeaderSet& s) const;
+
+  friend bool operator==(const Rewrite&, const Rewrite&) = default;
+};
+
+/// A forwarding action: output to a port (optionally rewriting header
+/// fields first), or drop.
+struct Action {
+  PortId out = kDropPort;
+  Rewrite rewrite{};
+
+  static Action output(PortId p) { return Action{p, {}}; }
+  static Action output_rewrite(PortId p, Rewrite r) {
+    return Action{p, std::move(r)};
+  }
+  static Action drop() { return Action{kDropPort, {}}; }
+
+  [[nodiscard]] bool is_drop() const { return out == kDropPort; }
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+/// Identifier of a rule, unique within a network (assigned by Controller).
+using RuleId = std::uint64_t;
+inline constexpr RuleId kNoRule = 0;
+
+struct FlowRule {
+  RuleId id = kNoRule;
+  std::int32_t priority = 0;
+  Match match;
+  Action action;
+
+  friend bool operator==(const FlowRule&, const FlowRule&) = default;
+
+  [[nodiscard]] std::string str() const {
+    return "[id=" + std::to_string(id) + " prio=" + std::to_string(priority) +
+           " " + match.str() + " -> " +
+           (action.is_drop() ? std::string("drop")
+                             : "port " + std::to_string(action.out)) +
+           "]";
+  }
+};
+
+}  // namespace veridp

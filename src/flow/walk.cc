@@ -1,0 +1,37 @@
+#include "flow/walk.hpp"
+
+namespace veridp {
+
+std::vector<Hop> logical_walk(const Topology& topo,
+                              const std::vector<SwitchConfig>& configs,
+                              PortKey entry, const PacketHeader& header,
+                              int max_hops) {
+  std::vector<Hop> path;
+  PacketHeader h = header;  // rewrites mutate the in-flight copy
+  PortKey cur = entry;
+  for (int i = 0; i < max_hops; ++i) {
+    const SwitchConfig& cfg = configs[static_cast<std::size_t>(cur.sw)];
+    PortId y = kDropPort;
+    if (cfg.in_acl(cur.port).permits(h)) {
+      const FlowRule* rule = cfg.table.lookup(h, cur.port);
+      if (rule && !rule->action.is_drop()) {
+        y = rule->action.out;
+        if (!cfg.out_acl(y).permits(h)) {
+          y = kDropPort;
+        } else {
+          rule->action.rewrite.apply(h);
+        }
+      }
+    }
+    path.push_back(Hop{cur.port, cur.sw, y});
+    if (y == kDropPort) return path;
+    const PortKey out{cur.sw, y};
+    if (topo.is_edge_port(out)) return path;
+    auto next = topo.peer(out);
+    if (!next) return path;
+    cur = *next;
+  }
+  return path;
+}
+
+}  // namespace veridp

@@ -1,0 +1,22 @@
+// Control-plane packet walk: computes the hop sequence a header takes
+// through a set of switch configurations, starting at an entry port.
+// Shared by the controller (intent checking), the localizer (Algorithm
+// 4's GetPath) and several experiments.
+#pragma once
+
+#include <vector>
+
+#include "flow/switch_config.hpp"
+#include "topo/topology.hpp"
+
+namespace veridp {
+
+/// Walks `configs` (indexed by SwitchId) from `entry`. The returned
+/// sequence ends with a hop whose output is an edge port or kDropPort,
+/// or is cut after `max_hops` (loops).
+std::vector<Hop> logical_walk(const Topology& topo,
+                              const std::vector<SwitchConfig>& configs,
+                              PortKey entry, const PacketHeader& h,
+                              int max_hops = 64);
+
+}  // namespace veridp

@@ -1,0 +1,46 @@
+// Packet-header bit layout used for BDD encoding.
+//
+// VeriDP verifies against header sets over the TCP/UDP 5-tuple (the paper's
+// tag reports carry "a portion of packet header (e.g., TCP 5-tuple)", §3.3).
+// We encode the 5-tuple onto 104 BDD variables, one per bit, MSB-first per
+// field, fields ordered src_ip, dst_ip, proto, src_port, dst_port. MSB-first
+// keeps IP-prefix predicates linear-size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace veridp {
+
+enum class Field : std::uint8_t {
+  SrcIp = 0,
+  DstIp = 1,
+  Proto = 2,
+  SrcPort = 3,
+  DstPort = 4,
+};
+
+inline constexpr int kNumFields = 5;
+
+/// Bit width of each field, indexed by Field.
+inline constexpr std::array<int, kNumFields> kFieldWidth = {32, 32, 8, 16, 16};
+
+/// First BDD variable of each field.
+inline constexpr std::array<int, kNumFields> kFieldOffset = {0, 32, 64, 72, 88};
+
+/// Total number of BDD variables for one header.
+inline constexpr int kHeaderBits = 104;
+
+constexpr int field_width(Field f) {
+  return kFieldWidth[static_cast<std::size_t>(f)];
+}
+constexpr int field_offset(Field f) {
+  return kFieldOffset[static_cast<std::size_t>(f)];
+}
+
+/// IANA protocol numbers used throughout examples and workloads.
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+}  // namespace veridp

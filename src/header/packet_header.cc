@@ -1,0 +1,67 @@
+#include "header/packet_header.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace veridp {
+
+std::uint64_t PacketHeader::field(Field f) const {
+  switch (f) {
+    case Field::SrcIp:
+      return src_ip.value;
+    case Field::DstIp:
+      return dst_ip.value;
+    case Field::Proto:
+      return proto;
+    case Field::SrcPort:
+      return src_port;
+    case Field::DstPort:
+      return dst_port;
+  }
+  return 0;
+}
+
+bool PacketHeader::bit(int var) const {
+  assert(var >= 0 && var < kHeaderBits);
+  for (int f = kNumFields - 1; f >= 0; --f) {
+    const auto fld = static_cast<Field>(f);
+    if (var >= field_offset(fld)) {
+      const int pos = var - field_offset(fld);
+      const int w = field_width(fld);
+      return (field(fld) >> (w - 1 - pos)) & 1;
+    }
+  }
+  return false;
+}
+
+std::string PacketHeader::str() const {
+  const char* p = proto == kProtoTcp   ? "tcp"
+                  : proto == kProtoUdp ? "udp"
+                  : proto == kProtoIcmp
+                      ? "icmp"
+                      : nullptr;
+  std::string ps = p ? p : ("proto" + std::to_string(proto));
+  return to_string(src_ip) + ":" + std::to_string(src_port) + " -> " +
+         to_string(dst_ip) + ":" + std::to_string(dst_port) + " " + ps;
+}
+
+PacketHeader header_from_bits(const std::vector<bool>& bits) {
+  assert(bits.size() >= kHeaderBits);
+  auto read = [&bits](Field f) -> std::uint64_t {
+    std::uint64_t v = 0;
+    const int off = field_offset(f);
+    for (int i = 0; i < field_width(f); ++i)
+      v = (v << 1) | static_cast<std::uint64_t>(
+                         bits[static_cast<std::size_t>(off + i)]);
+    return v;
+  };
+  PacketHeader h;
+  h.src_ip = Ipv4{static_cast<std::uint32_t>(read(Field::SrcIp))};
+  h.dst_ip = Ipv4{static_cast<std::uint32_t>(read(Field::DstIp))};
+  h.proto = static_cast<std::uint8_t>(read(Field::Proto));
+  h.src_port = static_cast<std::uint16_t>(read(Field::SrcPort));
+  h.dst_port = static_cast<std::uint16_t>(read(Field::DstPort));
+  return h;
+}
+
+}  // namespace veridp

@@ -1,0 +1,50 @@
+// A concrete packet header (5-tuple) — the unit carried by tag reports and
+// matched against path-table header sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "header/fields.hpp"
+
+namespace veridp {
+
+/// A fully-specified 5-tuple header.
+struct PacketHeader {
+  Ipv4 src_ip{};
+  Ipv4 dst_ip{};
+  std::uint8_t proto = kProtoTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  friend bool operator==(const PacketHeader&, const PacketHeader&) = default;
+  friend auto operator<=>(const PacketHeader&, const PacketHeader&) = default;
+
+  /// The value of field `f`, widened to 64 bits.
+  [[nodiscard]] std::uint64_t field(Field f) const;
+
+  /// The value of BDD variable `var` (bit `var` of the 104-bit encoding).
+  [[nodiscard]] bool bit(int var) const;
+
+  /// "10.0.1.1:1234 -> 10.0.2.1:22 tcp"
+  [[nodiscard]] std::string str() const;
+};
+
+/// Builds a header from a 104-bit assignment (e.g. a BDD witness);
+/// `bits[v]` is BDD variable v.
+PacketHeader header_from_bits(const std::vector<bool>& bits);
+
+}  // namespace veridp
+
+template <>
+struct std::hash<veridp::PacketHeader> {
+  std::size_t operator()(const veridp::PacketHeader& h) const noexcept {
+    std::uint64_t a = (std::uint64_t{h.src_ip.value} << 32) | h.dst_ip.value;
+    std::uint64_t b = (std::uint64_t{h.proto} << 32) |
+                      (std::uint64_t{h.src_port} << 16) | h.dst_port;
+    a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+    return static_cast<std::size_t>(a);
+  }
+};

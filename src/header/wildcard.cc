@@ -1,0 +1,134 @@
+#include "header/wildcard.hpp"
+
+namespace veridp {
+
+void TernaryCube::set_bit(int i, bool v) {
+  const std::size_t w = static_cast<std::size_t>(i / 64);
+  const std::uint64_t m = std::uint64_t{1} << (i % 64);
+  care[w] |= m;
+  if (v)
+    value[w] |= m;
+  else
+    value[w] &= ~m;
+}
+
+void TernaryCube::constrain_field(Field f, std::uint64_t v) {
+  const int off = field_offset(f);
+  const int w = field_width(f);
+  for (int i = 0; i < w; ++i) set_bit(off + i, (v >> (w - 1 - i)) & 1);
+}
+
+void TernaryCube::constrain_prefix(Field f, const Prefix& p) {
+  const int off = field_offset(f);
+  for (int i = 0; i < p.len; ++i)
+    set_bit(off + i, (p.addr >> (31 - i)) & 1);
+}
+
+bool TernaryCube::matches(const PacketHeader& h) const {
+  for (int i = 0; i < kHeaderBits; ++i)
+    if (bit_care(i) && bit_value(i) != h.bit(i)) return false;
+  return true;
+}
+
+std::optional<TernaryCube> TernaryCube::intersect(const TernaryCube& o) const {
+  TernaryCube r;
+  for (std::size_t w = 0; w < 2; ++w) {
+    // Conflict: both care and values differ.
+    if ((care[w] & o.care[w]) & (value[w] ^ o.value[w])) return std::nullopt;
+    r.care[w] = care[w] | o.care[w];
+    r.value[w] = (value[w] & care[w]) | (o.value[w] & o.care[w]);
+  }
+  return r;
+}
+
+bool TernaryCube::covers(const TernaryCube& o) const {
+  for (std::size_t w = 0; w < 2; ++w) {
+    // Every bit we care about, o must care about with the same value.
+    if (care[w] & ~o.care[w]) return false;
+    if ((value[w] ^ o.value[w]) & care[w]) return false;
+  }
+  return true;
+}
+
+bool WildcardSet::contains(const PacketHeader& h) const {
+  for (const TernaryCube& c : cubes_)
+    if (c.matches(h)) return true;
+  return false;
+}
+
+void WildcardSet::prune(std::vector<TernaryCube>& cubes) {
+  // Quadratic subsumption pruning: drop cubes covered by another.
+  std::vector<TernaryCube> kept;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    bool covered = false;
+    for (std::size_t j = 0; j < cubes.size() && !covered; ++j) {
+      if (i == j) continue;
+      if (cubes[j].covers(cubes[i]) &&
+          !(cubes[i].covers(cubes[j]) && j > i))  // keep one of equals
+        covered = true;
+    }
+    if (!covered) kept.push_back(cubes[i]);
+  }
+  cubes.swap(kept);
+}
+
+WildcardSet WildcardSet::unite(const WildcardSet& o) const {
+  WildcardSet r;
+  r.cubes_ = cubes_;
+  r.cubes_.insert(r.cubes_.end(), o.cubes_.begin(), o.cubes_.end());
+  prune(r.cubes_);
+  return r;
+}
+
+WildcardSet WildcardSet::intersect(const WildcardSet& o) const {
+  WildcardSet r;
+  for (const TernaryCube& a : cubes_)
+    for (const TernaryCube& b : o.cubes_)
+      if (auto c = a.intersect(b)) r.cubes_.push_back(*c);
+  prune(r.cubes_);
+  return r;
+}
+
+void WildcardSet::cube_minus(const TernaryCube& a, const TernaryCube& b,
+                             std::vector<TernaryCube>& out) {
+  // If they don't overlap, a survives whole.
+  const auto overlap = a.intersect(b);
+  if (!overlap) {
+    out.push_back(a);
+    return;
+  }
+  // Classic bit-splitting: for each bit b constrains but (a ∩ b-prefix)
+  // doesn't, emit a copy of `a` pinned to the opposite value at that bit
+  // and matching b on all earlier b-constrained bits.
+  TernaryCube base = a;
+  for (int i = 0; i < kHeaderBits; ++i) {
+    if (!b.bit_care(i)) continue;
+    if (base.bit_care(i)) {
+      if (base.bit_value(i) != b.bit_value(i)) {
+        out.push_back(base);  // disjoint at this bit after pinning
+        return;
+      }
+      continue;  // already agrees
+    }
+    TernaryCube piece = base;
+    piece.set_bit(i, !b.bit_value(i));
+    out.push_back(piece);
+    base.set_bit(i, b.bit_value(i));
+  }
+  // `base` is now a ∩ b: removed entirely.
+}
+
+WildcardSet WildcardSet::subtract(const WildcardSet& o) const {
+  std::vector<TernaryCube> current = cubes_;
+  for (const TernaryCube& b : o.cubes_) {
+    std::vector<TernaryCube> next;
+    for (const TernaryCube& a : current) cube_minus(a, b, next);
+    current.swap(next);
+  }
+  prune(current);
+  WildcardSet r;
+  r.cubes_ = std::move(current);
+  return r;
+}
+
+}  // namespace veridp

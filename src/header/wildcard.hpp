@@ -1,0 +1,103 @@
+// Wildcard (ternary-cube) header sets — the §4.1 straw-man representation,
+// implemented for the ablation study that motivates BDDs.
+//
+// A cube constrains each of the 104 header bits to 0, 1, or * (don't
+// care); a WildcardSet is a union of cubes, the representation Header
+// Space Analysis uses. Negative constraints explode: dst_port != 22 is a
+// union of 16 cubes, and set difference multiplies cube counts — the
+// paper cites 652 million cubes to characterize the Stanford network.
+// bench/ablation_header_sets reproduces the blow-up against the BDD
+// representation on identical inputs.
+//
+// The implementation is deliberately faithful to the classic algorithms
+// (cube intersection; difference by bit-splitting) with only light
+// subsumption pruning, because that is what the paper argues against.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "header/fields.hpp"
+#include "header/packet_header.hpp"
+
+namespace veridp {
+
+/// One ternary cube over the 104-bit header: `care` marks exact bits,
+/// `value` gives their values (don't-care bits have value 0).
+struct TernaryCube {
+  // Bit i of the header lives in word i/64, bit i%64.
+  std::array<std::uint64_t, 2> value{};
+  std::array<std::uint64_t, 2> care{};
+
+  /// The all-match cube.
+  static TernaryCube any() { return TernaryCube{}; }
+
+  /// Constrains field `f` to equal `v` (all field bits become care).
+  void constrain_field(Field f, std::uint64_t v);
+  /// Constrains the top `len` bits of an IP field to a prefix.
+  void constrain_prefix(Field f, const Prefix& p);
+
+  [[nodiscard]] bool bit_care(int i) const {
+    return (care[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1;
+  }
+  [[nodiscard]] bool bit_value(int i) const {
+    return (value[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1;
+  }
+  void set_bit(int i, bool v);
+
+  [[nodiscard]] bool matches(const PacketHeader& h) const;
+
+  /// Cube intersection; nullopt if they conflict on a care bit.
+  [[nodiscard]] std::optional<TernaryCube> intersect(
+      const TernaryCube& o) const;
+
+  /// True if this cube covers (is a superset of) `o`.
+  [[nodiscard]] bool covers(const TernaryCube& o) const;
+
+  friend bool operator==(const TernaryCube&, const TernaryCube&) = default;
+};
+
+/// A union of cubes.
+class WildcardSet {
+ public:
+  WildcardSet() = default;  // empty set
+
+  static WildcardSet all() {
+    WildcardSet s;
+    s.cubes_.push_back(TernaryCube::any());
+    return s;
+  }
+  static WildcardSet of(const TernaryCube& c) {
+    WildcardSet s;
+    s.cubes_.push_back(c);
+    return s;
+  }
+
+  [[nodiscard]] bool empty() const { return cubes_.empty(); }
+  [[nodiscard]] std::size_t num_cubes() const { return cubes_.size(); }
+  [[nodiscard]] const std::vector<TernaryCube>& cubes() const {
+    return cubes_;
+  }
+
+  [[nodiscard]] bool contains(const PacketHeader& h) const;
+
+  /// Set union (concatenate + subsumption pruning).
+  [[nodiscard]] WildcardSet unite(const WildcardSet& o) const;
+  /// Set intersection (pairwise cube intersection).
+  [[nodiscard]] WildcardSet intersect(const WildcardSet& o) const;
+  /// Set difference: this minus `o`. This is where cube counts explode.
+  [[nodiscard]] WildcardSet subtract(const WildcardSet& o) const;
+
+ private:
+  static void prune(std::vector<TernaryCube>& cubes);
+  /// cube minus cube -> up to 104 disjoint cubes.
+  static void cube_minus(const TernaryCube& a, const TernaryCube& b,
+                         std::vector<TernaryCube>& out);
+
+  std::vector<TernaryCube> cubes_;
+};
+
+}  // namespace veridp

@@ -1,0 +1,153 @@
+// Stanford-backbone-like and Internet2-like topology generators.
+//
+// The paper's Table 2 uses the real Stanford configs (16 routers + 10 L2
+// switches, 757k rules) and Internet2 (9 routers, 126k rules). Those
+// configs are not redistributable; we reproduce the topology *shape*: the
+// same switch counts, a comparable edge-port scale, and prefix-structured
+// subnets that the synthetic rule generators (veridp/workload.hpp) expand
+// into large rule sets.
+#include <array>
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "topo/generators.hpp"
+
+namespace veridp {
+
+Topology stanford_like(int num_zone_routers, int edge_ports_per_zone,
+                       int l2_switches) {
+  assert(num_zone_routers >= 2 && num_zone_routers % 2 == 0);
+  assert(l2_switches >= num_zone_routers / 2);
+  Topology t;
+
+  // Zone routers get the Stanford-style names where available.
+  static const std::array<const char*, 14> kZoneNames = {
+      "boza", "bozb", "coza", "cozb", "goza", "gozb", "poza",
+      "pozb", "roza", "rozb", "soza", "sozb", "yoza", "yozb"};
+
+  const int zone_ports = 3 + edge_ports_per_zone;  // 2 uplinks + 1 L2 + edge
+  const int num_bb_l2 = l2_switches - num_zone_routers / 2;
+  const PortId bb_ports = static_cast<PortId>(num_zone_routers + num_bb_l2 + 1);
+
+  const SwitchId bbra = t.add_switch("bbra", bb_ports);
+  const SwitchId bbrb = t.add_switch("bbrb", bb_ports);
+
+  std::vector<SwitchId> zones;
+  for (int z = 0; z < num_zone_routers; ++z) {
+    std::string name = z < static_cast<int>(kZoneNames.size())
+                           ? kZoneNames[static_cast<std::size_t>(z)]
+                           : "zone" + std::to_string(z);
+    zones.push_back(t.add_switch(name, static_cast<PortId>(zone_ports)));
+  }
+
+  // Zone uplinks: zone port 1 -> bbra, port 2 -> bbrb.
+  for (int z = 0; z < num_zone_routers; ++z) {
+    t.add_link(PortKey{zones[static_cast<std::size_t>(z)], 1},
+               PortKey{bbra, static_cast<PortId>(1 + z)});
+    t.add_link(PortKey{zones[static_cast<std::size_t>(z)], 2},
+               PortKey{bbrb, static_cast<PortId>(1 + z)});
+  }
+
+  // One L2 distribution switch per zone pair (zone port 3 <-> L2). The
+  // L2 switches also host edge subnets — twice a zone router's count —
+  // which puts most host pairs behind l2 -> zone -> backbone -> zone ->
+  // l2 paths, reproducing the paper's ~4.85-hop average path length.
+  const int l2_edges = 2 * edge_ports_per_zone;
+  for (int i = 0; i < num_zone_routers / 2; ++i) {
+    const SwitchId l2 = t.add_switch("l2_z" + std::to_string(i),
+                                     static_cast<PortId>(2 + l2_edges));
+    t.add_link(PortKey{zones[static_cast<std::size_t>(2 * i)], 3},
+               PortKey{l2, 1});
+    t.add_link(PortKey{zones[static_cast<std::size_t>(2 * i + 1)], 3},
+               PortKey{l2, 2});
+    for (int e = 0; e < l2_edges; ++e) {
+      // /20 subnets: 16 fit per second-octet block, so spill into the
+      // next block every 16 edge ports.
+      const PortKey pk{l2, static_cast<PortId>(3 + e)};
+      t.attach_subnet(
+          pk, Prefix{Ipv4::of(10, static_cast<std::uint8_t>(100 + 4 * i + e / 16),
+                              static_cast<std::uint8_t>((e % 16) * 16), 0),
+                     20});
+    }
+  }
+  // Remaining L2 switches sit between the two backbone routers.
+  for (int i = 0; i < num_bb_l2; ++i) {
+    const SwitchId l2 = t.add_switch("l2_bb" + std::to_string(i), 2);
+    t.add_link(PortKey{bbra, static_cast<PortId>(num_zone_routers + 1 + i)},
+               PortKey{l2, 1});
+    t.add_link(PortKey{bbrb, static_cast<PortId>(num_zone_routers + 1 + i)},
+               PortKey{l2, 2});
+  }
+  // Direct backbone-backbone link on the last port.
+  t.add_link(PortKey{bbra, bb_ports}, PortKey{bbrb, bb_ports});
+
+  // Edge ports: /20 subnets 10.z.(e*16).0/20 on each zone router.
+  for (int z = 0; z < num_zone_routers; ++z)
+    for (int e = 0; e < edge_ports_per_zone; ++e) {
+      const PortKey pk{zones[static_cast<std::size_t>(z)],
+                       static_cast<PortId>(4 + e)};
+      t.attach_subnet(pk,
+                      Prefix{Ipv4::of(10, static_cast<std::uint8_t>(z),
+                                      static_cast<std::uint8_t>(e * 16), 0),
+                             20});
+    }
+  return t;
+}
+
+Topology internet2_like(int edge_ports_per_router) {
+  Topology t;
+  // The nine Internet2/Abilene POPs and their backbone links.
+  static const std::array<const char*, 9> kNames = {
+      "SEAT", "LOSA", "SALT", "HOUS", "KANS", "CHIC", "ATLA", "WASH", "NEWY"};
+  static const std::array<std::pair<int, int>, 12> kLinks = {{
+      {0, 2},  // SEAT-SALT
+      {0, 1},  // SEAT-LOSA
+      {1, 2},  // LOSA-SALT
+      {1, 3},  // LOSA-HOUS
+      {2, 4},  // SALT-KANS
+      {3, 4},  // HOUS-KANS
+      {3, 6},  // HOUS-ATLA
+      {4, 5},  // KANS-CHIC
+      {5, 6},  // CHIC-ATLA
+      {5, 8},  // CHIC-NEWY
+      {6, 7},  // ATLA-WASH
+      {7, 8},  // WASH-NEWY
+  }};
+
+  std::array<int, 9> degree{};
+  for (const auto& [a, b] : kLinks) {
+    ++degree[static_cast<std::size_t>(a)];
+    ++degree[static_cast<std::size_t>(b)];
+  }
+
+  std::vector<SwitchId> routers;
+  for (int r = 0; r < 9; ++r)
+    routers.push_back(t.add_switch(
+        kNames[static_cast<std::size_t>(r)],
+        static_cast<PortId>(degree[static_cast<std::size_t>(r)] +
+                            edge_ports_per_router)));
+
+  std::array<PortId, 9> next_port;
+  next_port.fill(1);
+  for (const auto& [a, b] : kLinks) {
+    t.add_link(PortKey{routers[static_cast<std::size_t>(a)],
+                       next_port[static_cast<std::size_t>(a)]++},
+               PortKey{routers[static_cast<std::size_t>(b)],
+                       next_port[static_cast<std::size_t>(b)]++});
+  }
+
+  // Edge ports: /16 subnets 10.(r*24 + e).0.0/16.
+  for (int r = 0; r < 9; ++r)
+    for (int e = 0; e < edge_ports_per_router; ++e) {
+      const PortKey pk{routers[static_cast<std::size_t>(r)],
+                       static_cast<PortId>(
+                           degree[static_cast<std::size_t>(r)] + 1 + e)};
+      t.attach_subnet(
+          pk, Prefix{Ipv4::of(10, static_cast<std::uint8_t>(r * 24 + e), 0, 0),
+                     16});
+    }
+  return t;
+}
+
+}  // namespace veridp

@@ -1,0 +1,61 @@
+#include <cassert>
+#include <string>
+
+#include "topo/generators.hpp"
+
+namespace veridp {
+
+Topology fat_tree(int k) {
+  assert(k >= 2 && k % 2 == 0);
+  const int h = k / 2;  // half-width: hosts per edge, edges per pod, ...
+  Topology t;
+
+  // Core switches: h*h of them, k ports (one per pod).
+  std::vector<SwitchId> core;
+  for (int i = 0; i < h; ++i)
+    for (int j = 0; j < h; ++j)
+      core.push_back(t.add_switch(
+          "core_" + std::to_string(i) + "_" + std::to_string(j),
+          static_cast<PortId>(k)));
+
+  for (int p = 0; p < k; ++p) {
+    // Aggregation: ports 1..h down to edge, h+1..k up to core.
+    std::vector<SwitchId> agg, edge;
+    for (int a = 0; a < h; ++a)
+      agg.push_back(t.add_switch(
+          "agg_" + std::to_string(p) + "_" + std::to_string(a),
+          static_cast<PortId>(k)));
+    // Edge: ports 1..h up to aggregation, h+1..k down to hosts.
+    for (int e = 0; e < h; ++e)
+      edge.push_back(t.add_switch(
+          "edge_" + std::to_string(p) + "_" + std::to_string(e),
+          static_cast<PortId>(k)));
+
+    for (int a = 0; a < h; ++a) {
+      for (int e = 0; e < h; ++e)
+        t.add_link(PortKey{agg[static_cast<std::size_t>(a)],
+                           static_cast<PortId>(1 + e)},
+                   PortKey{edge[static_cast<std::size_t>(e)],
+                           static_cast<PortId>(1 + a)});
+      for (int j = 0; j < h; ++j)
+        t.add_link(PortKey{agg[static_cast<std::size_t>(a)],
+                           static_cast<PortId>(h + 1 + j)},
+                   PortKey{core[static_cast<std::size_t>(a * h + j)],
+                           static_cast<PortId>(1 + p)});
+    }
+    // Host ports: 10.pod.edge.(port) /32, one host per edge port.
+    for (int e = 0; e < h; ++e)
+      for (int i = 0; i < h; ++i) {
+        const PortKey pk{edge[static_cast<std::size_t>(e)],
+                         static_cast<PortId>(h + 1 + i)};
+        t.attach_subnet(
+            pk, Prefix{Ipv4::of(10, static_cast<std::uint8_t>(p),
+                                static_cast<std::uint8_t>(e),
+                                static_cast<std::uint8_t>(h + 1 + i)),
+                       32});
+      }
+  }
+  return t;
+}
+
+}  // namespace veridp

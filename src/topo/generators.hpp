@@ -1,0 +1,52 @@
+// Topology generators for the paper's four experimental setups (§6.1):
+// fat trees (k=4, k=6 in Table 2/3), a Stanford-backbone-like network, an
+// Internet2-like network, plus small synthetic shapes for unit tests and
+// the paper's illustrative figures.
+//
+// The real Stanford/Internet2 router configs are not redistributable, so
+// `stanford_like` / `internet2_like` generate topologies with the same
+// node counts and edge-port scale (see DESIGN.md, substitution #2).
+#pragma once
+
+#include "common/rng.hpp"
+#include "topo/topology.hpp"
+
+namespace veridp {
+
+/// A k-ary fat tree: k pods of k/2 edge + k/2 aggregation switches and
+/// (k/2)^2 core switches. Each edge switch exposes k/2 host-facing edge
+/// ports with a /32 host subnet 10.pod.switch.(port+1). k must be even
+/// and >= 2.
+Topology fat_tree(int k);
+
+/// A Stanford-backbone-like topology: 2 backbone routers fully meshed
+/// with `num_zone_routers` zone routers (default 14, for 16 routers
+/// total as in the paper), plus `l2_switches` layer-2 distribution
+/// switches (default 10: one per zone pair + backbone interconnects).
+/// Each zone router exposes `edge_ports_per_zone` host-facing /20
+/// subnets and each zone-pair L2 switch exposes twice that many, so most
+/// host pairs sit 5 hops apart (the paper's 4.85 average path length).
+Topology stanford_like(int num_zone_routers = 14, int edge_ports_per_zone = 10,
+                       int l2_switches = 10);
+
+/// An Internet2-like topology: 9 routers with the Abilene/Internet2 link
+/// pattern, each exposing `edge_ports_per_router` edge ports with /16
+/// subnets.
+Topology internet2_like(int edge_ports_per_router = 22);
+
+/// A linear chain of `n` switches; switch i links port 2 -> switch i+1
+/// port 1; ports 1 of the first and 2 of the last (plus port 3 on every
+/// switch) are edge ports. Subnet 10.0.i.0/24 on each port 3.
+Topology linear(int n);
+
+/// The 3-switch toy network of Figure 5 (S1, S2, S3 + middlebox port).
+/// S1: port1=H1-edge, port2=H2-edge, port3->S2.1, port4->S3.3.
+/// S2: port1<-S1.3, port2=middlebox-in edge... (see simple_topos.cc for
+/// the exact wiring used by tests and the Table-1 reproduction).
+Topology toy_figure5();
+
+/// The 2x3 grid of Figure 7 (S1..S6, four ports each): used by the fault
+/// localization unit tests.
+Topology grid_figure7();
+
+}  // namespace veridp

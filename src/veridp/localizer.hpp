@@ -1,0 +1,57 @@
+// Fault localization (Algorithm 4, "PathInfer").
+//
+// When verification fails, the server reconstructs the set of paths the
+// packet may really have taken, exploiting the structure of the Bloom
+// filter tag (this is why tags are Bloom filters and not plain hashes,
+// §3.3): a hop can be membership-tested against the tag.
+//
+// Phase 1 walks the *correct* control-plane path, keeping the longest
+// prefix whose hops all pass the tag test (com_path). Phase 2 backtracks:
+// it pops a hop, enumerates alternative output ports of that switch that
+// pass the tag test, and from each follows the control plane of the
+// downstream switches (they are assumed healthy) until the reported
+// outport is reached — yielding a candidate real path and blaming the
+// switch where the deviation started.
+#pragma once
+
+#include <vector>
+
+#include "dataplane/packet.hpp"
+#include "flow/walk.hpp"
+#include "topo/topology.hpp"
+
+namespace veridp {
+
+/// A candidate real path plus the switch Algorithm 4 blames for it.
+struct Candidate {
+  std::vector<Hop> path;
+  SwitchId deviating_switch = kNoSwitch;
+};
+
+struct LocalizeResult {
+  std::vector<Candidate> candidates;  ///< the paper's `pathset`
+
+  /// True if `real_path` (ground truth from the simulator) was recovered.
+  [[nodiscard]] bool recovered(const std::vector<Hop>& real_path) const {
+    for (const Candidate& c : candidates)
+      if (c.path == real_path) return true;
+    return false;
+  }
+};
+
+class Localizer {
+ public:
+  /// `configs` is the controller's logical view (R), used both for the
+  /// correct path and for the assumed-healthy downstream walks.
+  Localizer(const Topology& topo, const std::vector<SwitchConfig>& configs)
+      : topo_(&topo), configs_(&configs) {}
+
+  /// Runs Algorithm 4 on a failed report.
+  [[nodiscard]] LocalizeResult infer(const TagReport& report) const;
+
+ private:
+  const Topology* topo_;
+  const std::vector<SwitchConfig>* configs_;
+};
+
+}  // namespace veridp

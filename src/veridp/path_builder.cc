@@ -1,0 +1,136 @@
+#include "veridp/path_builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace veridp {
+
+ConfigTransferProvider::ConfigTransferProvider(
+    const HeaderSpace& space, const Topology& topo,
+    const std::vector<SwitchConfig>& configs) {
+  assert(configs.size() == topo.num_switches());
+  tfs_.reserve(configs.size());
+  for (SwitchId s = 0; s < configs.size(); ++s)
+    tfs_.push_back(TransferFunction::compute(
+        space, configs[static_cast<std::size_t>(s)], topo.num_ports(s)));
+}
+
+HeaderSet ConfigTransferProvider::transfer(SwitchId s, PortId x,
+                                           PortId y) const {
+  return tfs_[static_cast<std::size_t>(s)].transfer(x, y);
+}
+
+std::vector<FwdAtom> ConfigTransferProvider::atoms(SwitchId s, PortId x,
+                                                   PortId y) const {
+  return tfs_[static_cast<std::size_t>(s)].transfer_atoms(x, y);
+}
+
+void ReachIndex::record(PortKey inport, SwitchId s, const HeaderSet& h) {
+  auto& per_switch = reach_[inport];
+  auto [it, inserted] = per_switch.try_emplace(s, h);
+  if (!inserted) it->second |= h;
+}
+
+HeaderSet ReachIndex::reach(PortKey inport, SwitchId s) const {
+  if (auto it = reach_.find(inport); it != reach_.end())
+    if (auto jt = it->second.find(s); jt != it->second.end())
+      return jt->second;
+  return space_->none();
+}
+
+std::vector<PortKey> ReachIndex::affected_inports(
+    SwitchId s, const HeaderSet& delta) const {
+  std::vector<PortKey> out;
+  for (const auto& [inport, per_switch] : reach_) {
+    auto jt = per_switch.find(s);
+    if (jt == per_switch.end()) continue;
+    if (!(jt->second & delta).empty()) out.push_back(inport);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ReachIndex::erase_inport(PortKey inport) { reach_.erase(inport); }
+
+// Recursive traversal state: we use an explicit stack to avoid deep
+// recursion on long paths, but path lengths are bounded by the loop
+// cut-off so plain recursion via a helper lambda is fine and clearer.
+void PathTableBuilder::traverse(PathTable& table, PortKey inport,
+                                ReachIndex* reach) const {
+  struct Walker {
+    const PathTableBuilder& b;
+    PathTable& table;
+    PortKey inport;
+    ReachIndex* reach;
+    std::vector<Hop> path;
+    std::vector<PortKey> visited;  // arrival ports on the current path
+
+    void step(PortKey at, const HeaderSet& h, const BloomTag& tag) {
+      const SwitchId s = at.sw;
+      const PortId x = at.port;
+      if (reach) reach->record(inport, s, h);
+
+      const PortId n = b.topo_->num_ports(s);
+
+      // Drop branch (no rewrites can matter for ⊥).
+      {
+        HeaderSet hd = h & b.transfer_->transfer(s, x, kDropPort);
+        if (!hd.empty()) {
+          const Hop hop{x, s, kDropPort};
+          BloomTag tag2 = tag;
+          tag2.insert(hop);
+          path.push_back(hop);
+          table.add_path(inport, PortKey{s, kDropPort}, hd, path, tag2);
+          path.pop_back();
+        }
+      }
+
+      for (PortId out = 1; out <= n; ++out) {
+        for (const FwdAtom& atom : b.transfer_->atoms(s, x, out)) {
+          HeaderSet h2 = h & atom.headers;
+          if (h2.empty()) continue;
+          // Header-rewrite extension (§8): continue with the image.
+          if (!atom.rewrite.empty()) h2 = atom.rewrite.apply_to_set(h2);
+
+          const Hop hop{x, s, out};
+          BloomTag tag2 = tag;
+          tag2.insert(hop);
+          path.push_back(hop);
+
+          if (b.topo_->is_edge_port(PortKey{s, out})) {
+            table.add_path(inport, PortKey{s, out}, h2, path, tag2);
+          } else {
+            const auto next = b.topo_->peer(PortKey{s, out});
+            assert(next.has_value());
+            // Loop cut-off (§6.1): stop if this arrival port was already
+            // visited on the current path.
+            if (std::find(visited.begin(), visited.end(), *next) ==
+                visited.end()) {
+              visited.push_back(*next);
+              step(*next, h2, tag2);
+              visited.pop_back();
+            }
+          }
+          path.pop_back();
+        }
+      }
+    }
+  };
+
+  Walker w{*this, table, inport, reach, {}, {inport}};
+  w.step(inport, space_->all(), BloomTag(tag_bits_));
+}
+
+PathTable PathTableBuilder::build(ReachIndex* reach) const {
+  PathTable table;
+  for (const PortKey& inport : topo_->edge_ports())
+    traverse(table, inport, reach);
+  return table;
+}
+
+void PathTableBuilder::build_from(PathTable& table, PortKey inport,
+                                  ReachIndex* reach) const {
+  traverse(table, inport, reach);
+}
+
+}  // namespace veridp

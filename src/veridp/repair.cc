@@ -1,0 +1,94 @@
+#include "veridp/repair.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace veridp {
+
+RepairReport RepairEngine::reconcile(SwitchId sw) {
+  RepairReport report;
+  report.sw = sw;
+  const SwitchConfig& logical = controller_->logical(sw);
+  SwitchConfig& phys = net_->at(sw).config();
+
+  // Fix the lookup mode first: a switch that stopped honoring priorities
+  // (the §2.2 HP-5406zl case) misforwards regardless of rule content.
+  if (phys.table.priority_ignored()) {
+    phys.table.ignore_priority(false);
+    report.priority_mode_fixed = true;
+  }
+
+  // Rule diff, keyed by rule id: the controller assigns ids, so a
+  // physical rule with an unknown id is foreign.
+  std::unordered_set<RuleId> logical_ids;
+  for (const FlowRule& r : logical.table.rules()) logical_ids.insert(r.id);
+
+  std::vector<RuleId> to_remove;
+  for (const FlowRule& r : phys.table.rules())
+    if (!logical_ids.contains(r.id)) to_remove.push_back(r.id);
+  for (RuleId id : to_remove) {
+    phys.table.remove(id);
+    ++report.removed;
+  }
+
+  for (const FlowRule& want : logical.table.rules()) {
+    const FlowRule* have = phys.table.find(want.id);
+    if (have && *have == want) continue;  // intact
+    if (have) phys.table.remove(want.id); // corrupted: replace
+    phys.table.add(want);
+    ++report.reinstalled;
+  }
+
+  // ACLs are small; restore them wholesale when they differ.
+  auto acl_equal = [](const Acl& a, const Acl& b) {
+    if (a.entries().size() != b.entries().size()) return false;
+    for (std::size_t i = 0; i < a.entries().size(); ++i) {
+      if (!(a.entries()[i].match == b.entries()[i].match) ||
+          a.entries()[i].permit != b.entries()[i].permit)
+        return false;
+    }
+    return true;
+  };
+  const PortId n = net_->at(sw).num_ports();
+  for (PortId p = 1; p <= n; ++p) {
+    if (!acl_equal(logical.in_acl(p), phys.in_acl(p))) {
+      phys.in_acls[p] = logical.in_acl(p);
+      ++report.acls_restored;
+    }
+    if (!acl_equal(logical.out_acl(p), phys.out_acl(p))) {
+      phys.out_acls[p] = logical.out_acl(p);
+      ++report.acls_restored;
+    }
+  }
+  return report;
+}
+
+std::vector<RepairReport> RepairEngine::repair_from(const TagReport& report) {
+  Localizer localizer(controller_->topology(), controller_->logical_configs());
+  const LocalizeResult inferred = localizer.infer(report);
+
+  // Collect the distinct blamed switches; when localization produced no
+  // candidate (e.g. a TTL-expired loop), fall back to reconciling every
+  // switch on the correct path — the fault must sit on or adjacent to it.
+  std::vector<SwitchId> suspects;
+  auto add = [&suspects](SwitchId s) {
+    if (std::find(suspects.begin(), suspects.end(), s) == suspects.end())
+      suspects.push_back(s);
+  };
+  for (const Candidate& c : inferred.candidates) add(c.deviating_switch);
+  if (suspects.empty()) {
+    for (const Hop& hop : logical_walk(controller_->topology(),
+                                       controller_->logical_configs(),
+                                       report.inport, report.header))
+      add(hop.sw);
+  }
+
+  std::vector<RepairReport> out;
+  for (SwitchId s : suspects) {
+    RepairReport r = reconcile(s);
+    if (r.changed()) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace veridp

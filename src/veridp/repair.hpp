@@ -1,0 +1,60 @@
+// Automatic flow-table repair — the paper's §8 future work #2:
+// "designing a method that can automatically repair the flow table of a
+// faulty switch, in order to resolve the inconsistency with minimal
+// human interaction."
+//
+// The repair engine closes the monitoring loop: a failed tag report is
+// localized (Algorithm 4) to a set of suspect switches; for each suspect
+// the physical flow table is reconciled against the controller's logical
+// table — missing rules are re-installed, corrupted rules (wrong action,
+// wrong priority) are replaced, and foreign rules (installed behind the
+// controller's back) are removed. ACLs are re-pushed wholesale. The
+// reconciliation is minimal: untouched rules are not re-sent, so the
+// data plane disruption is limited to the diff.
+//
+// Scope note: this assumes the repair agent may read the physical table
+// (the controller can dump flow tables; it is *continuously* doing so
+// that VeriDP avoids — repair after localization only needs one dump of
+// one switch, which is cheap).
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "veridp/localizer.hpp"
+
+namespace veridp {
+
+/// What a reconciliation did to one switch.
+struct RepairReport {
+  SwitchId sw = kNoSwitch;
+  std::size_t reinstalled = 0;   ///< rules missing or corrupted -> re-sent
+  std::size_t removed = 0;       ///< foreign rules deleted
+  std::size_t acls_restored = 0; ///< ACL tables re-pushed
+  bool priority_mode_fixed = false;  ///< cleared a no-priority failure
+
+  [[nodiscard]] bool changed() const {
+    return reinstalled || removed || acls_restored || priority_mode_fixed;
+  }
+};
+
+class RepairEngine {
+ public:
+  /// `controller` provides the intended state (R); repairs are applied
+  /// to the physical switches of `net` (R').
+  RepairEngine(const Controller& controller, Network& net)
+      : controller_(&controller), net_(&net) {}
+
+  /// Reconciles one switch's physical state with the logical state.
+  RepairReport reconcile(SwitchId sw);
+
+  /// Localizes a failed report and reconciles every blamed switch.
+  /// Returns one report per switch actually touched.
+  std::vector<RepairReport> repair_from(const TagReport& report);
+
+ private:
+  const Controller* controller_;
+  Network* net_;
+};
+
+}  // namespace veridp

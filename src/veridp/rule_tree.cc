@@ -1,0 +1,140 @@
+#include "veridp/rule_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace veridp {
+
+RuleTree::RuleTree(const HeaderSpace& space, PortId num_ports)
+    : space_(&space),
+      num_ports_(num_ports),
+      root_(std::make_unique<Node>()),
+      pred_(num_ports, space.none()),
+      drop_pred_(space.all()) {
+  root_->prefix = Prefix{};  // 0.0.0.0/0, the virtual drop rule
+}
+
+HeaderSet RuleTree::prefix_set(const Prefix& p) const {
+  return space_->ip_prefix(Field::DstIp, p);
+}
+
+HeaderSet RuleTree::match_of(const Node& n) const {
+  HeaderSet m = prefix_set(n.prefix);
+  for (const auto& c : n.children) m -= prefix_set(c->prefix);
+  return m;
+}
+
+RuleTree::Node* RuleTree::locate_parent(const Prefix& p) const {
+  Node* cur = root_.get();
+  for (;;) {
+    Node* deeper = nullptr;
+    for (const auto& c : cur->children) {
+      if (c->prefix.contains(p) && c->prefix != p) {
+        deeper = c.get();
+        break;
+      }
+    }
+    if (!deeper) return cur;
+    cur = deeper;
+  }
+}
+
+std::optional<RuleTree::Delta> RuleTree::add(RuleId id, const Prefix& prefix,
+                                             PortId out) {
+  assert(out == kDropPort || (out >= 1 && out <= num_ports_));
+  Node* parent = locate_parent(prefix);
+  // Duplicate prefix? (A child of `parent` with the exact same prefix.)
+  for (const auto& c : parent->children)
+    if (c->prefix == prefix) return std::nullopt;
+
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->prefix = prefix;
+  node->out = out;
+  node->parent = parent;
+
+  // Re-parent the children of `parent` that fall inside the new prefix.
+  auto& siblings = parent->children;
+  for (auto it = siblings.begin(); it != siblings.end();) {
+    if (prefix.contains((*it)->prefix)) {
+      (*it)->parent = node.get();
+      node->children.push_back(std::move(*it));
+      it = siblings.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // R.match = prefix minus (adopted) children — computed after adoption.
+  const HeaderSet moved = match_of(*node);
+  const PortId from = parent->id == kNoRule ? kDropPort : parent->out;
+
+  // Same-port refinements move headers from a port to itself: the
+  // predicates must not change (|= then -= would net-remove coverage).
+  if (out != from) {
+    if (out == kDropPort)
+      drop_pred_ |= moved;
+    else
+      pred_[out - 1] |= moved;
+    if (from == kDropPort)
+      drop_pred_ -= moved;
+    else
+      pred_[from - 1] -= moved;
+  }
+
+  by_id_.emplace(id, node.get());
+  siblings.push_back(std::move(node));
+  return Delta{moved, out, from};
+}
+
+std::optional<RuleTree::Delta> RuleTree::remove(RuleId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  Node* node = it->second;
+  Node* parent = node->parent;
+
+  const HeaderSet moved = match_of(*node);
+  const PortId to = parent->id == kNoRule ? kDropPort : parent->out;
+  const PortId from = node->out;
+
+  if (from != to) {
+    if (from == kDropPort)
+      drop_pred_ -= moved;
+    else
+      pred_[from - 1] -= moved;
+    if (to == kDropPort)
+      drop_pred_ |= moved;
+    else
+      pred_[to - 1] |= moved;
+  }
+
+  // Children re-attach to the grandparent.
+  for (auto& c : node->children) {
+    c->parent = parent;
+    parent->children.push_back(std::move(c));
+  }
+  auto& siblings = parent->children;
+  siblings.erase(std::find_if(
+      siblings.begin(), siblings.end(),
+      [node](const std::unique_ptr<Node>& p) { return p.get() == node; }));
+  by_id_.erase(it);
+  return Delta{moved, to, from};
+}
+
+HeaderSet RuleTree::port_predicate(PortId y) const {
+  assert(y >= 1 && y <= num_ports_);
+  return pred_[y - 1];
+}
+
+HeaderSet RuleTree::drop_predicate() const { return drop_pred_; }
+
+bool RuleTree::predicates_partition() const {
+  HeaderSet acc = drop_pred_;
+  for (PortId y = 1; y <= num_ports_; ++y) {
+    if (!(acc & pred_[y - 1]).empty()) return false;  // overlap
+    acc |= pred_[y - 1];
+  }
+  return acc.is_all();
+}
+
+}  // namespace veridp

@@ -1,0 +1,84 @@
+// The §4.4 rule tree: dst-prefix forwarding rules of one switch organized
+// by prefix containment, rooted at a virtual drop rule 0.0.0.0/0.
+//
+// Longest-prefix-match semantics fall out of the tree: a rule R matches
+// R.match = R.prefix minus the union of its children's prefixes. Adding
+// or deleting a rule therefore touches exactly two port predicates —
+// the rule's own output port and its parent's:
+//
+//   add:    P_x ← P_x ∨ R.match        P_y ← P_y ∧ ¬R.match
+//   delete: P_x ← P_x ∧ ¬R.match       P_y ← P_y ∨ R.match
+//
+// (x = R's port, y = parent's port; the virtual root stands for ⊥, which
+// is how table misses become the drop predicate.)
+//
+// The incremental path-table updater consumes the returned deltas.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ip.hpp"
+#include "flow/rule.hpp"
+#include "header/header_set.hpp"
+
+namespace veridp {
+
+class RuleTree {
+ public:
+  RuleTree(const HeaderSpace& space, PortId num_ports);
+
+  /// The effect of one add/delete on port predicates.
+  struct Delta {
+    HeaderSet moved;      ///< R.match at the time of the operation
+    PortId gaining_port;  ///< port whose predicate grew (may be kDropPort)
+    PortId losing_port;   ///< port whose predicate shrank (may be kDropPort)
+  };
+
+  /// Inserts a dst-prefix rule. Prefixes must be unique per switch;
+  /// returns nullopt (no-op) on a duplicate prefix.
+  std::optional<Delta> add(RuleId id, const Prefix& prefix, PortId out);
+
+  /// Deletes a rule by id; nullopt if unknown.
+  std::optional<Delta> remove(RuleId id);
+
+  /// P_y for a real port (headers forwarded to y under LPM).
+  [[nodiscard]] HeaderSet port_predicate(PortId y) const;
+  /// P_⊥ (headers matching no rule — the virtual root's match).
+  [[nodiscard]] HeaderSet drop_predicate() const;
+
+  [[nodiscard]] std::size_t size() const { return by_id_.size(); }
+  [[nodiscard]] PortId num_ports() const { return num_ports_; }
+
+  /// Debug invariant: the port predicates (incl. ⊥) partition the header
+  /// space restricted to dst-IP constraints. Test use only.
+  [[nodiscard]] bool predicates_partition() const;
+
+ private:
+  struct Node {
+    RuleId id = kNoRule;  // kNoRule for the virtual root
+    Prefix prefix;
+    PortId out = kDropPort;
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// The match set of `n`: prefix minus children prefixes.
+  HeaderSet match_of(const Node& n) const;
+  /// Deepest node whose prefix contains `p` (root always qualifies).
+  Node* locate_parent(const Prefix& p) const;
+  HeaderSet prefix_set(const Prefix& p) const;
+
+  const HeaderSpace* space_;
+  PortId num_ports_;
+  std::unique_ptr<Node> root_;
+  std::unordered_map<RuleId, Node*> by_id_;
+  // Port predicates, maintained incrementally. Index 0 = port 1; the
+  // drop predicate is kept separately.
+  std::vector<HeaderSet> pred_;
+  HeaderSet drop_pred_;
+};
+
+}  // namespace veridp

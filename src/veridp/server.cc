@@ -1,0 +1,67 @@
+#include "veridp/server.hpp"
+
+namespace veridp {
+
+Server::Server(Controller& controller, Mode mode, int tag_bits,
+               HeaderSpace space)
+    : controller_(&controller),
+      mode_(mode),
+      tag_bits_(tag_bits),
+      space_(std::move(space)) {
+  controller_->subscribe(
+      [this](const RuleEvent& ev) { on_rule_event(ev); });
+}
+
+void Server::on_rule_event(const RuleEvent& ev) {
+  if (!synced_) return;  // events before the first sync are folded into it
+  if (mode_ == Mode::kIncremental) {
+    updater_->apply(ev);
+  } else {
+    dirty_ = true;  // lazy rebuild before the next lookup
+  }
+}
+
+void Server::rebuild() {
+  const Topology& topo = controller_->topology();
+  if (mode_ == Mode::kIncremental) {
+    updater_ = std::make_unique<IncrementalUpdater>(space_, topo, tag_bits_);
+    updater_->initialize(controller_->logical_configs());
+    verifier_ = std::make_unique<Verifier>(updater_->table());
+  } else {
+    ConfigTransferProvider provider(space_, topo,
+                                    controller_->logical_configs());
+    PathTableBuilder builder(space_, topo, provider, tag_bits_);
+    full_table_ = builder.build();
+    verifier_ = std::make_unique<Verifier>(full_table_);
+  }
+  dirty_ = false;
+}
+
+void Server::sync() {
+  rebuild();
+  synced_ = true;
+}
+
+void Server::ensure_fresh() {
+  if (!synced_) sync();
+  if (dirty_) rebuild();
+}
+
+const PathTable& Server::table() {
+  ensure_fresh();
+  return mode_ == Mode::kIncremental ? updater_->table() : full_table_;
+}
+
+PathTableStats Server::stats() { return table().stats(); }
+
+Verdict Server::verify(const TagReport& report) {
+  ensure_fresh();
+  return verifier_->verify(report);
+}
+
+LocalizeResult Server::localize(const TagReport& report) const {
+  Localizer localizer(controller_->topology(), controller_->logical_configs());
+  return localizer.infer(report);
+}
+
+}  // namespace veridp

@@ -1,0 +1,80 @@
+// The VeriDP server (§3.2, §3.4): sits beside the controller, intercepts
+// the southbound rule stream to keep its path table current, receives tag
+// reports from switches, verifies them (Algorithm 3) and localizes faulty
+// switches on failure (Algorithm 4).
+//
+// Two maintenance modes:
+//  * kIncremental — rules must be dst-prefix-only with priority equal to
+//    prefix length and no ACLs (§4.4's fragment); updates are O(affected
+//    branches) via IncrementalUpdater.
+//  * kFullRebuild — arbitrary rules/ACLs; the table is rebuilt from the
+//    controller's logical configs on demand (rebuilds are batched: the
+//    table is marked dirty and rebuilt lazily before the next lookup).
+#pragma once
+
+#include <memory>
+
+#include "controller/controller.hpp"
+#include "veridp/incremental.hpp"
+#include "veridp/localizer.hpp"
+#include "veridp/verifier.hpp"
+
+namespace veridp {
+
+class Server {
+ public:
+  enum class Mode { kFullRebuild, kIncremental };
+
+  /// Creates a server monitoring `controller`'s network. Subscribes to
+  /// the controller's rule events. The controller (and its topology)
+  /// must outlive the server. Pass a HeaderSpace to share one BDD arena
+  /// with other components (HeaderSpace copies share their manager);
+  /// required when this server's path table will be compared with
+  /// another via `equivalent`.
+  Server(Controller& controller, Mode mode,
+         int tag_bits = BloomTag::kDefaultBits,
+         HeaderSpace space = HeaderSpace{});
+
+  /// Builds the path table from the current logical state. Call once
+  /// after the initial policy installation.
+  void sync();
+
+  /// Verifies one tag report against the path table.
+  Verdict verify(const TagReport& report);
+
+  /// Runs fault localization for a (failed) report.
+  [[nodiscard]] LocalizeResult localize(const TagReport& report) const;
+
+  [[nodiscard]] const PathTable& table();
+  [[nodiscard]] PathTableStats stats();
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] int tag_bits() const { return tag_bits_; }
+
+  /// Counters forwarded from the verifier.
+  [[nodiscard]] std::uint64_t reports_verified() const {
+    return verifier_ ? verifier_->verified() : 0;
+  }
+  [[nodiscard]] std::uint64_t reports_passed() const {
+    return verifier_ ? verifier_->passed() : 0;
+  }
+  [[nodiscard]] std::uint64_t reports_failed() const {
+    return verifier_ ? verifier_->failed() : 0;
+  }
+
+ private:
+  void on_rule_event(const RuleEvent& ev);
+  void rebuild();
+  void ensure_fresh();
+
+  Controller* controller_;
+  Mode mode_;
+  int tag_bits_;
+  HeaderSpace space_;
+  PathTable full_table_;  // kFullRebuild mode storage
+  std::unique_ptr<IncrementalUpdater> updater_;
+  std::unique_ptr<Verifier> verifier_;
+  bool synced_ = false;
+  bool dirty_ = false;
+};
+
+}  // namespace veridp

@@ -1,0 +1,30 @@
+#include "veridp/verifier.hpp"
+
+namespace veridp {
+
+Verdict Verifier::verify(const TagReport& report) {
+  ++total_;
+  const PathTable::EntryList* paths =
+      table_->lookup(report.inport, report.outport);
+  if (paths) {
+    // Linear search is intended: the per-pair path count is small
+    // (Figure 6). Without rewrites the per-pair header sets are
+    // disjoint and the first match decides; with the header-rewrite
+    // extension two paths may map different entry headers onto the
+    // same exit header, so every matching entry gets a chance before
+    // declaring a tag mismatch.
+    const PathEntry* matched = nullptr;
+    for (const PathEntry& p : *paths) {
+      if (!p.headers.contains(report.header)) continue;
+      if (p.tag == report.tag) {
+        ++passed_;
+        return Verdict{VerifyStatus::kOk, &p};
+      }
+      if (!matched) matched = &p;
+    }
+    if (matched) return Verdict{VerifyStatus::kTagMismatch, matched};
+  }
+  return Verdict{VerifyStatus::kNoPath, nullptr};
+}
+
+}  // namespace veridp

@@ -1,0 +1,54 @@
+// Tag verification (Algorithm 3).
+//
+// On a report <inport, outport, header, tag>: look up the path list for
+// the port pair, find the path whose header set contains the header, and
+// compare tags. Verification fails when no path admits the header (the
+// packet exited at a port it should never reach) or when the tag differs
+// (the packet took a different path than configured).
+//
+// Soundness note (§6.3): a consistent data plane always passes — there
+// are no false positives. False negatives require both (1) arrival at the
+// correct destination port and (2) a Bloom-filter tag collision.
+#pragma once
+
+#include <cstdint>
+
+#include "dataplane/packet.hpp"
+#include "veridp/path_table.hpp"
+
+namespace veridp {
+
+enum class VerifyStatus {
+  kOk,           ///< header matched a path and tags are equal
+  kNoPath,       ///< no path for the pair admits this header
+  kTagMismatch,  ///< header matched a path but the tag differs
+};
+
+struct Verdict {
+  VerifyStatus status = VerifyStatus::kNoPath;
+  /// The path whose header set matched (kOk / kTagMismatch), else null.
+  const PathEntry* matched = nullptr;
+
+  [[nodiscard]] bool ok() const { return status == VerifyStatus::kOk; }
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const PathTable& table) : table_(&table) {}
+
+  /// Runs Algorithm 3 on one report.
+  Verdict verify(const TagReport& report);
+
+  // Running counters (reset with reset_stats).
+  [[nodiscard]] std::uint64_t verified() const { return total_; }
+  [[nodiscard]] std::uint64_t passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t failed() const { return total_ - passed_; }
+  void reset_stats() { total_ = passed_ = 0; }
+
+ private:
+  const PathTable* table_;
+  std::uint64_t total_ = 0;
+  std::uint64_t passed_ = 0;
+};
+
+}  // namespace veridp

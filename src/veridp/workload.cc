@@ -1,0 +1,211 @@
+#include "veridp/workload.hpp"
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "controller/routing.hpp"
+
+namespace veridp {
+namespace workload {
+
+namespace {
+
+// BFS hop distance of every switch to `dst`, plus per-switch equal-cost
+// next-hop ports (all ports leading to a neighbor one hop closer).
+struct EcmpMap {
+  std::vector<int> dist;                       // -1 = unreachable
+  std::vector<std::vector<PortId>> next_hops;  // per switch
+};
+
+EcmpMap ecmp_toward(const Topology& topo, SwitchId dst) {
+  EcmpMap m;
+  m.dist.assign(topo.num_switches(), -1);
+  m.next_hops.assign(topo.num_switches(), {});
+  m.dist[dst] = 0;
+  std::deque<SwitchId> queue{dst};
+  while (!queue.empty()) {
+    const SwitchId cur = queue.front();
+    queue.pop_front();
+    for (const auto& [port, remote] : topo.neighbors(cur)) {
+      (void)port;
+      if (remote.sw == cur) continue;
+      if (m.dist[remote.sw] == -1) {
+        m.dist[remote.sw] = m.dist[cur] + 1;
+        queue.push_back(remote.sw);
+      }
+    }
+  }
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    if (m.dist[s] <= 0) continue;
+    for (const auto& [port, remote] : topo.neighbors(s))
+      if (remote.sw != s && m.dist[remote.sw] == m.dist[s] - 1)
+        m.next_hops[s].push_back(port);
+  }
+  return m;
+}
+
+}  // namespace
+
+Ipv4 host_in(const Prefix& subnet) {
+  if (subnet.len >= 32) return Ipv4{subnet.addr};
+  return Ipv4{subnet.addr + 1};
+}
+
+namespace {
+
+// Shared implementation: `pin` restricts rule placement to one switch.
+std::size_t add_specifics(Controller& c, Rng& rng, std::size_t count,
+                          std::uint8_t min_len, std::uint8_t max_len,
+                          std::optional<SwitchId> pin);
+
+}  // namespace
+
+std::size_t add_specific_rules(Controller& c, Rng& rng, std::size_t count,
+                               std::uint8_t min_len, std::uint8_t max_len) {
+  return add_specifics(c, rng, count, min_len, max_len, std::nullopt);
+}
+
+std::size_t add_specific_rules_at(Controller& c, SwitchId sw, Rng& rng,
+                                  std::size_t count, std::uint8_t min_len,
+                                  std::uint8_t max_len) {
+  return add_specifics(c, rng, count, min_len, max_len, sw);
+}
+
+namespace {
+
+std::size_t add_specifics(Controller& c, Rng& rng, std::size_t count,
+                          std::uint8_t min_len, std::uint8_t max_len,
+                          std::optional<SwitchId> pin) {
+  const Topology& topo = c.topology();
+  const auto& subnets = topo.subnets();
+  if (subnets.empty()) return 0;
+
+  // Precompute ECMP maps once per destination subnet's switch.
+  std::unordered_map<SwitchId, EcmpMap> ecmp;
+  for (const auto& [port, subnet] : subnets) {
+    (void)subnet;
+    if (!ecmp.contains(port.sw)) ecmp.emplace(port.sw, ecmp_toward(topo, port.sw));
+  }
+
+  // (switch, prefix) pairs already used, to keep prefixes unique per
+  // switch (a RuleTree precondition).
+  std::unordered_set<std::uint64_t> used;
+  auto key = [](SwitchId s, const Prefix& p) {
+    return (static_cast<std::uint64_t>(s) << 40) |
+           (static_cast<std::uint64_t>(p.len) << 32) | p.addr;
+  };
+
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  while (added < count && attempts < count * 20) {
+    ++attempts;
+    const auto& [dst_port, subnet] = subnets[rng.index(subnets.size())];
+    if (subnet.len >= max_len) continue;
+
+    // A random more-specific prefix nested in the subnet.
+    const std::uint8_t lo = std::max(min_len, static_cast<std::uint8_t>(subnet.len + 1));
+    if (lo > max_len) continue;
+    const auto len = static_cast<std::uint8_t>(rng.uniform(lo, max_len));
+    const std::uint32_t extra_bits =
+        static_cast<std::uint32_t>(rng.uniform(0, 0xffffffffULL));
+    const Prefix sub{(subnet.addr | (extra_bits & ~Prefix::mask(subnet.len))),
+                     len};
+
+    // A random switch that can reach the subnet, and a random equal-cost
+    // next hop there (the owning switch delivers out the edge port).
+    const EcmpMap& m = ecmp.at(dst_port.sw);
+    const SwitchId sw =
+        pin ? *pin : static_cast<SwitchId>(rng.index(topo.num_switches()));
+    PortId out;
+    if (sw == dst_port.sw) {
+      out = dst_port.port;
+    } else {
+      if (m.dist[sw] <= 0 || m.next_hops[sw].empty()) continue;
+      out = m.next_hops[sw][rng.index(m.next_hops[sw].size())];
+    }
+    if (used.contains(key(sw, sub))) continue;
+    used.insert(key(sw, sub));
+    c.add_rule(sw, sub.len, Match::dst_prefix(sub), Action::output(out));
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace
+
+std::size_t add_edge_acls(Controller& c, Rng& rng, std::size_t count) {
+  const Topology& topo = c.topology();
+  const auto& subnets = topo.subnets();
+  if (subnets.size() < 2) return 0;
+  std::size_t added = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& [port, subnet] = subnets[rng.index(subnets.size())];
+    (void)subnet;
+    const auto& [src_port, src_subnet] = subnets[rng.index(subnets.size())];
+    (void)src_port;
+    Match deny;
+    deny.src = src_subnet;
+    deny.dst_port = static_cast<std::uint16_t>(rng.uniform(1, 1024));
+    Acl acl = c.logical(port.sw).in_acl(port.port);
+    acl.deny(deny);
+    c.set_in_acl(port.sw, port.port, std::move(acl));
+    ++added;
+  }
+  return added;
+}
+
+std::vector<Flow> ping_all(const Topology& topo, std::uint16_t dst_port) {
+  const auto& subnets = topo.subnets();
+  std::vector<Flow> flows;
+  flows.reserve(subnets.size() * (subnets.size() - 1));
+  for (const auto& [src_pk, src_subnet] : subnets) {
+    for (const auto& [dst_pk, dst_subnet] : subnets) {
+      if (src_pk == dst_pk) continue;
+      PacketHeader h;
+      h.src_ip = host_in(src_subnet);
+      h.dst_ip = host_in(dst_subnet);
+      h.proto = kProtoTcp;
+      h.src_port = 40000;
+      h.dst_port = dst_port;
+      flows.push_back(Flow{src_pk, h});
+    }
+  }
+  return flows;
+}
+
+std::vector<Flow> random_flows(const Topology& topo, Rng& rng,
+                               std::size_t n) {
+  const auto& subnets = topo.subnets();
+  std::vector<Flow> flows;
+  if (subnets.size() < 2) return flows;
+  flows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [src_pk, src_subnet] = subnets[rng.index(subnets.size())];
+    const auto& [dst_pk, dst_subnet] = subnets[rng.index(subnets.size())];
+    (void)dst_pk;
+    PacketHeader h;
+    const std::uint32_t src_span = src_subnet.len >= 31
+                                       ? 0
+                                       : (~Prefix::mask(src_subnet.len)) - 1;
+    h.src_ip = Ipv4{src_subnet.addr +
+                    (src_span == 0
+                         ? 0
+                         : static_cast<std::uint32_t>(rng.uniform(1, src_span)))};
+    const std::uint32_t dst_span = dst_subnet.len >= 31
+                                       ? 0
+                                       : (~Prefix::mask(dst_subnet.len)) - 1;
+    h.dst_ip = Ipv4{dst_subnet.addr +
+                    (dst_span == 0
+                         ? 0
+                         : static_cast<std::uint32_t>(rng.uniform(1, dst_span)))};
+    h.proto = rng.chance(0.8) ? kProtoTcp : kProtoUdp;
+    h.src_port = static_cast<std::uint16_t>(rng.uniform(1024, 65535));
+    h.dst_port = static_cast<std::uint16_t>(rng.uniform(1, 8192));
+    flows.push_back(Flow{src_pk, h});
+  }
+  return flows;
+}
+
+}  // namespace workload
+}  // namespace veridp

@@ -1,0 +1,61 @@
+// Workload synthesis: rule-set scaling and traffic generation for the
+// evaluation harness (§6.1).
+//
+// The paper's Stanford/Internet2 experiments run on real (not
+// redistributable) config dumps with 757k / 126k rules. We reproduce the
+// *structure*: a shortest-path routing underlay over the generated
+// topologies, scaled up with more-specific random prefixes whose next
+// hops are drawn from equal-cost shortest-path candidates — so rule count
+// and path diversity grow without ever creating forwarding loops — plus
+// random edge ACLs for drop-path diversity.
+#pragma once
+
+#include <vector>
+
+#include "controller/controller.hpp"
+
+namespace veridp {
+namespace workload {
+
+/// A unit of traffic: where it enters and what its header is.
+struct Flow {
+  PortKey entry;
+  PacketHeader header;
+};
+
+/// Adds `count` more-specific dst-prefix rules at random switches.
+/// Each rule nests inside an existing attached subnet and forwards to a
+/// random equal-cost next hop toward that subnet (loop-free by
+/// construction: the BFS distance strictly decreases). Prefix lengths
+/// are drawn from [min_len, max_len]; duplicates per switch are skipped.
+/// Returns the number of rules actually added.
+std::size_t add_specific_rules(Controller& c, Rng& rng, std::size_t count,
+                               std::uint8_t min_len = 22,
+                               std::uint8_t max_len = 28);
+
+/// Like add_specific_rules but places every rule at switch `sw` (the
+/// Figure-14 experiment populates one router's table rule-by-rule).
+std::size_t add_specific_rules_at(Controller& c, SwitchId sw, Rng& rng,
+                                  std::size_t count,
+                                  std::uint8_t min_len = 22,
+                                  std::uint8_t max_len = 28);
+
+/// Installs `count` random in-bound deny entries (src-prefix + dst-port)
+/// on random edge ports, mimicking the Stanford ACL mix. Returns the
+/// number added.
+std::size_t add_edge_acls(Controller& c, Rng& rng, std::size_t count);
+
+/// One flow per ordered pair of attached subnets — the "all hosts ping
+/// each other" workload (Table 3); TCP to `dst_port`.
+std::vector<Flow> ping_all(const Topology& topo, std::uint16_t dst_port = 80);
+
+/// `n` random flows between random subnets with random transport ports.
+std::vector<Flow> random_flows(const Topology& topo, Rng& rng,
+                               std::size_t n);
+
+/// A representative host address inside a subnet (network address + 1,
+/// or the address itself for /32).
+Ipv4 host_in(const Prefix& subnet);
+
+}  // namespace workload
+}  // namespace veridp

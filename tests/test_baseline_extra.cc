@@ -1,0 +1,98 @@
+// Additional baseline edge cases: ATPG probe semantics, Monocle in_port
+// handling, postcard accounting invariants.
+#include <gtest/gtest.h>
+
+#include "baseline/atpg.hpp"
+#include "baseline/monocle.hpp"
+#include "controller/routing.hpp"
+#include "veridp/path_builder.hpp"
+#include "testutil.hpp"
+
+namespace veridp {
+namespace {
+
+TEST(AtpgExtra, ProbesSkipDropClasses) {
+  // ATPG checks reception only: no probe may target a ⊥ outport.
+  Topology topo = linear(3);
+  Controller c(topo);
+  routing::install_shortest_paths(c);
+  HeaderSpace space;
+  ConfigTransferProvider provider(space, topo, c.logical_configs());
+  const PathTable table = PathTableBuilder(space, topo, provider).build();
+  Rng rng(8);
+  const auto probes = baseline::generate_probes(table, rng);
+  ASSERT_FALSE(probes.empty());
+  for (const auto& p : probes) {
+    EXPECT_NE(p.expected_exit.port, kDropPort);
+    // Every probe header is admitted by some delivery entry of its pair.
+    const auto* list = table.lookup(p.entry, p.expected_exit);
+    ASSERT_NE(list, nullptr);
+    bool admitted = false;
+    for (const PathEntry& e : *list) admitted |= e.headers.contains(p.header);
+    EXPECT_TRUE(admitted);
+  }
+}
+
+TEST(AtpgExtra, ProbeCountMatchesDeliveryPathCount) {
+  Topology topo = fat_tree(4);
+  Controller c(topo);
+  routing::install_shortest_paths(c);
+  HeaderSpace space;
+  ConfigTransferProvider provider(space, topo, c.logical_configs());
+  const PathTable table = PathTableBuilder(space, topo, provider).build();
+  std::size_t delivery_paths = 0;
+  table.for_each([&delivery_paths](PortKey, PortKey out, const PathEntry&) {
+    if (out.port != kDropPort) ++delivery_paths;
+  });
+  Rng rng(9);
+  EXPECT_EQ(baseline::generate_probes(table, rng).size(), delivery_paths);
+}
+
+TEST(MonocleExtra, InPortRulesAreSkipped) {
+  HeaderSpace space;
+  SwitchConfig cfg;
+  Match pinned = Match::any();
+  pinned.in_port = 2;
+  cfg.table.add(FlowRule{1, 10, pinned, Action::output(1)});
+  EXPECT_FALSE(baseline::generate_probe(space, cfg, 4, 1).has_value());
+  const auto run = baseline::generate_all(space, cfg, 4);
+  EXPECT_TRUE(run.probes.empty());
+  EXPECT_EQ(run.skipped, 1u);
+}
+
+TEST(MonocleExtra, UnknownRuleYieldsNothing) {
+  HeaderSpace space;
+  SwitchConfig cfg;
+  EXPECT_FALSE(baseline::generate_probe(space, cfg, 4, 42).has_value());
+}
+
+TEST(MonocleExtra, ProbeRespectsEqualPriorityTieBreak) {
+  // Two equal-priority overlapping rules: the older wins ties, so the
+  // newer is only probeable in its non-overlapping remainder.
+  HeaderSpace space;
+  SwitchConfig cfg;
+  cfg.table.add(FlowRule{1, 10,
+                         Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 8}),
+                         Action::output(1)});
+  cfg.table.add(FlowRule{2, 10,
+                         Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 9}),
+                         Action::output(2)});
+  auto probe = baseline::generate_probe(space, cfg, 4, 2);
+  // Rule 2's prefix is inside rule 1's and loses the tie: fully shadowed.
+  EXPECT_FALSE(probe.has_value());
+  // Swap priorities: rule 2 becomes probeable.
+  SwitchConfig cfg2;
+  cfg2.table.add(FlowRule{1, 10,
+                          Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 8}),
+                          Action::output(1)});
+  cfg2.table.add(FlowRule{2, 20,
+                          Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 9}),
+                          Action::output(2)});
+  auto probe2 = baseline::generate_probe(space, cfg2, 4, 2);
+  ASSERT_TRUE(probe2.has_value());
+  EXPECT_EQ(probe2->expected_out, 2u);
+  EXPECT_EQ(probe2->without_rule, 1u);
+}
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,136 @@
+// BDD engine stress / scale tests: behaviours that only show up beyond
+// toy sizes — canonical forms under heavy sharing, prefix-chain growth,
+// cache correctness across interleaved operations.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "common/rng.hpp"
+#include "header/header_set.hpp"
+
+namespace veridp {
+namespace {
+
+TEST(BddStress, ThousandPrefixesStayLinearish) {
+  // Prefix predicates are the path table's bread and butter: a union of
+  // n disjoint /24s must not blow up the node count.
+  HeaderSpace space;
+  HeaderSet acc = space.none();
+  for (int i = 0; i < 1000; ++i) {
+    const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(i / 256),
+                            static_cast<std::uint8_t>(i % 256), 0),
+                   24};
+    acc |= space.ip_prefix(Field::DstIp, p);
+  }
+  // 1000 disjoint /24 prefixes: the BDD is a shared-suffix trie; node
+  // count stays within a small multiple of the prefix bits involved.
+  EXPECT_LT(acc.bdd_size(), 5000u);
+  EXPECT_DOUBLE_EQ(acc.count(), 1000.0 * std::exp2(104 - 24));
+}
+
+TEST(BddStress, SubtractionChainsReachFixpoint) {
+  HeaderSpace space;
+  HeaderSet all = space.all();
+  HeaderSet covered = space.none();
+  Rng rng(42);
+  for (int i = 0; i < 300; ++i) {
+    const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 7)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 255)), 0),
+                   static_cast<std::uint8_t>(rng.uniform(9, 26))};
+    const HeaderSet s = space.ip_prefix(Field::DstIp, p) - covered;
+    covered |= s;
+    // Invariants of shadow subtraction:
+    EXPECT_TRUE(s.subset_of(covered));
+    EXPECT_TRUE((s & (covered - s) & s).empty() || s.empty());
+  }
+  const HeaderSet rest = all - covered;
+  EXPECT_EQ((covered | rest), all);
+  EXPECT_TRUE((covered & rest).empty());
+}
+
+TEST(BddStress, CanonicityUnderManyEquivalentFormulas) {
+  // Build the same function 50 different ways; all must be one node.
+  BddManager m(24);
+  Rng rng(77);
+  const BddRef target = m.apply_or(m.apply_and(m.var(3), m.var(17)),
+                                   m.apply_and(m.var(5), m.nvar(9)));
+  for (int t = 0; t < 50; ++t) {
+    // Random re-association / commutation of the same expression.
+    BddRef a = m.apply_and(m.var(17), m.var(3));
+    BddRef b = m.apply_and(m.nvar(9), m.var(5));
+    if (rng.chance(0.5)) std::swap(a, b);
+    BddRef f = m.apply_or(a, b);
+    // Double negation + De Morgan detour.
+    if (rng.chance(0.5))
+      f = m.apply_not(m.apply_and(m.apply_not(a), m.apply_not(b)));
+    EXPECT_EQ(f, target);
+  }
+}
+
+TEST(BddStress, SatCountMatchesIncludeExcludeOnChains) {
+  BddManager m(30);
+  Rng rng(5);
+  for (int round = 0; round < 30; ++round) {
+    // f = OR of 3 random conjunctions; count via inclusion-exclusion.
+    std::array<BddRef, 3> conj;
+    for (auto& c : conj) {
+      c = kBddTrue;
+      for (int i = 0; i < 4; ++i) {
+        const int v = static_cast<int>(rng.index(30));
+        c = m.apply_and(c, rng.chance(0.5) ? m.var(v) : m.nvar(v));
+      }
+    }
+    const BddRef f = m.or_all({conj[0], conj[1], conj[2]});
+    const double direct = m.sat_count(f);
+    const double ie = m.sat_count(conj[0]) + m.sat_count(conj[1]) +
+                      m.sat_count(conj[2]) -
+                      m.sat_count(m.apply_and(conj[0], conj[1])) -
+                      m.sat_count(m.apply_and(conj[0], conj[2])) -
+                      m.sat_count(m.apply_and(conj[1], conj[2])) +
+                      m.sat_count(m.and_all({conj[0], conj[1], conj[2]}));
+    EXPECT_NEAR(direct, ie, 1e-6) << "round " << round;
+  }
+}
+
+TEST(BddStress, RangePartitionExhaustive) {
+  // field_range over a partition of the 16-bit space must OR to TRUE.
+  HeaderSpace space;
+  HeaderSet acc = space.none();
+  const std::array<std::pair<std::uint64_t, std::uint64_t>, 5> parts = {
+      std::pair{0ULL, 1023ULL},
+      {1024ULL, 8191ULL},
+      {8192ULL, 32767ULL},
+      {32768ULL, 65000ULL},
+      {65001ULL, 65535ULL}};
+  for (const auto& [lo, hi] : parts) {
+    const HeaderSet r = space.field_range(Field::SrcPort, lo, hi);
+    EXPECT_TRUE((acc & r).empty());
+    acc |= r;
+  }
+  EXPECT_TRUE(acc.is_all());
+}
+
+TEST(BddStress, PickRandomCoversTheSet) {
+  // Sampling a 3-element set repeatedly must see every element.
+  HeaderSpace space;
+  PacketHeader a, b, c;
+  a.dst_port = 1;
+  b.dst_port = 2;
+  c.dst_port = 3;
+  const HeaderSet s =
+      space.singleton(a) | space.singleton(b) | space.singleton(c);
+  Rng rng(11);
+  std::array<int, 4> seen{};
+  for (int i = 0; i < 300; ++i) {
+    auto h = s.sample(rng);
+    ASSERT_TRUE(h);
+    ASSERT_GE(h->dst_port, 1);
+    ASSERT_LE(h->dst_port, 3);
+    ++seen[h->dst_port];
+  }
+  EXPECT_GT(seen[1], 0);
+  EXPECT_GT(seen[2], 0);
+  EXPECT_GT(seen[3], 0);
+}
+
+}  // namespace
+}  // namespace veridp

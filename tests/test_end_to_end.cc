@@ -1,0 +1,173 @@
+// Cross-module end-to-end property tests: the invariants that hold for
+// ANY topology/workload when control and data plane agree, plus failure
+// injection sweeps that must always be detected.
+#include <gtest/gtest.h>
+
+#include "controller/routing.hpp"
+#include "dataplane/fault.hpp"
+#include "testutil.hpp"
+#include "veridp/repair.hpp"
+#include "veridp/server.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace {
+
+struct TopoCase {
+  const char* name;
+  int kind;  // 0=linear(5) 1=ft4 2=internet2(3) 3=stanford(14,2) 4=toy
+};
+
+Topology make(int kind) {
+  switch (kind) {
+    case 0: return linear(5);
+    case 1: return fat_tree(4);
+    case 2: return internet2_like(3);
+    case 3: return stanford_like(14, 2);
+    default: return toy_figure5();
+  }
+}
+
+class EveryTopology : public ::testing::TestWithParam<TopoCase> {};
+
+// Invariant 1: with identical planes, every report of every flow
+// verifies — regardless of delivery or drop (no false positives, §6.3).
+TEST_P(EveryTopology, ConsistentPlaneNeverFails) {
+  Topology topo = make(GetParam().kind);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  // Some random ACLs and refinements to stress the predicate paths.
+  Rng rng(99);
+  workload::add_specific_rules(c, rng, 60);
+  workload::add_edge_acls(c, rng, 10);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+
+  for (const auto& f : workload::random_flows(topo, rng, 200)) {
+    const auto r = net.inject(f.header, f.entry);
+    for (const TagReport& rep : r.reports)
+      ASSERT_TRUE(server.verify(rep).ok())
+          << GetParam().name << " " << f.header.str();
+  }
+  EXPECT_EQ(server.reports_failed(), 0u);
+}
+
+// Invariant 2: sampled delivered/dropped packets produce exactly one
+// report; unsampled packets produce none.
+TEST_P(EveryTopology, ReportCardinality) {
+  Topology topo = make(GetParam().kind);
+  Controller c(topo);
+  routing::install_shortest_paths(c);
+  Network net(topo);
+  c.deploy(net);
+  Rng rng(123);
+  for (const auto& f : workload::random_flows(topo, rng, 150)) {
+    const auto r = net.inject(f.header, f.entry);
+    if (r.sampled)
+      EXPECT_EQ(r.reports.size(), 1u) << GetParam().name;
+    else
+      EXPECT_TRUE(r.reports.empty());
+    // The report's path tag must equal the OR over the real path.
+    if (!r.reports.empty()) {
+      BloomTag expect(net.tag_bits());
+      for (const Hop& h : r.path) expect.insert(h);
+      EXPECT_EQ(r.reports[0].tag, expect);
+      EXPECT_EQ(r.reports[0].header, f.header);
+      EXPECT_EQ(r.reports[0].inport, f.entry);
+    }
+  }
+}
+
+// Invariant 3: the data-plane path of a consistent network equals the
+// control-plane walk.
+TEST_P(EveryTopology, DataPathMatchesLogicalWalk) {
+  Topology topo = make(GetParam().kind);
+  Controller c(topo);
+  routing::install_shortest_paths(c);
+  Network net(topo);
+  c.deploy(net);
+  Rng rng(321);
+  for (const auto& f : workload::random_flows(topo, rng, 100)) {
+    const auto r = net.inject(f.header, f.entry);
+    const auto walk = logical_walk(topo, c.logical_configs(), f.entry,
+                                   f.header);
+    ASSERT_EQ(r.path, walk) << GetParam().name << " " << f.header.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topos, EveryTopology,
+                         ::testing::Values(TopoCase{"linear", 0},
+                                           TopoCase{"fat_tree", 1},
+                                           TopoCase{"internet2", 2},
+                                           TopoCase{"stanford", 3}));
+
+// Fault sweep: every fault class on a fat tree is detected by at least
+// one failing report, and repair restores a clean plane.
+class FaultSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultSweep, DetectedAndRepairable) {
+  Topology topo = fat_tree(4);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  FaultInjector inject(net);
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 3);
+
+  // Choose a switch that carries traffic and a fault class per param.
+  const SwitchId sw = topo.find("agg_0_0");
+  const auto& rules = net.at(sw).config().table.rules();
+  ASSERT_FALSE(rules.empty());
+  const FlowRule victim = rules[rng.index(rules.size())];
+  switch (GetParam() % 4) {
+    case 0:
+      ASSERT_TRUE(inject.drop_rule(sw, victim.id));
+      break;
+    case 1:
+      ASSERT_TRUE(inject.replace_with_drop(sw, victim.id));
+      break;
+    case 2: {
+      const PortId wrong =
+          victim.action.out == 1 ? 2 : 1;
+      ASSERT_TRUE(inject.rewrite_rule_output(sw, victim.id, wrong));
+      break;
+    }
+    default:
+      inject.insert_external_rule(
+          sw, FlowRule{900000 + static_cast<RuleId>(GetParam()), 99999,
+                       Match::dst_prefix(victim.match.dst),
+                       Action::output(victim.action.out == 1 ? 2 : 1)});
+      break;
+  }
+
+  std::size_t failures = 0;
+  std::optional<TagReport> first;
+  for (const auto& f : workload::ping_all(topo)) {
+    const auto r = net.inject(f.header, f.entry);
+    for (const TagReport& rep : r.reports)
+      if (!server.verify(rep).ok()) {
+        ++failures;
+        if (!first) first = rep;
+      }
+  }
+  ASSERT_GT(failures, 0u) << "fault class " << GetParam() % 4;
+
+  RepairEngine repair(c, net);
+  repair.repair_from(*first);
+  std::size_t after = 0;
+  for (const auto& f : workload::ping_all(topo)) {
+    const auto r = net.inject(f.header, f.entry);
+    for (const TagReport& rep : r.reports)
+      if (!server.verify(rep).ok()) ++after;
+  }
+  EXPECT_EQ(after, 0u) << "fault class " << GetParam() % 4;
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, FaultSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,85 @@
+// FaultInjector unit tests: each injector manipulates exactly the
+// physical state it claims to, records history, and reports failures on
+// bad targets.
+#include "dataplane/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller/routing.hpp"
+#include "testutil.hpp"
+
+namespace veridp {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : topo(linear(3)), controller(topo), net(topo), inject(net) {
+    routing::install_shortest_paths(controller);
+    controller.deploy(net);
+  }
+  Topology topo;
+  Controller controller;
+  Network net;
+  FaultInjector inject;
+};
+
+TEST_F(FaultTest, DropRuleRemovesExactlyOne) {
+  const std::size_t before = net.at(1).config().table.size();
+  const RuleId victim = net.at(1).config().table.rules().front().id;
+  EXPECT_TRUE(inject.drop_rule(1, victim));
+  EXPECT_EQ(net.at(1).config().table.size(), before - 1);
+  EXPECT_EQ(net.at(1).config().table.find(victim), nullptr);
+  // Logical config untouched (that's the point of a *fault*).
+  EXPECT_NE(controller.logical(1).table.find(victim), nullptr);
+  // Unknown rule fails without recording history.
+  const std::size_t hist = inject.history().size();
+  EXPECT_FALSE(inject.drop_rule(1, 999999));
+  EXPECT_EQ(inject.history().size(), hist);
+}
+
+TEST_F(FaultTest, RewriteOutputChangesAction) {
+  const RuleId victim = net.at(0).config().table.rules().front().id;
+  EXPECT_TRUE(inject.rewrite_rule_output(0, victim, 1));
+  EXPECT_EQ(net.at(0).config().table.find(victim)->action.out, 1u);
+  EXPECT_FALSE(inject.rewrite_rule_output(0, 999999, 1));
+}
+
+TEST_F(FaultTest, ReplaceWithDropBlackholes) {
+  const RuleId victim = net.at(2).config().table.rules().front().id;
+  EXPECT_TRUE(inject.replace_with_drop(2, victim));
+  EXPECT_TRUE(net.at(2).config().table.find(victim)->action.is_drop());
+}
+
+TEST_F(FaultTest, ExternalRuleIsAddedOnlyPhysically) {
+  const std::size_t before = net.at(1).config().table.size();
+  inject.insert_external_rule(
+      1, FlowRule{555, 9999, Match::any(), Action::output(1)});
+  EXPECT_EQ(net.at(1).config().table.size(), before + 1);
+  EXPECT_EQ(controller.logical(1).table.find(555), nullptr);
+}
+
+TEST_F(FaultTest, HistoryDescribesEveryFault) {
+  const RuleId victim = net.at(0).config().table.rules().front().id;
+  inject.drop_rule(0, victim);
+  inject.ignore_priority(1);
+  ASSERT_EQ(inject.history().size(), 2u);
+  EXPECT_NE(inject.history()[0].describe().find("dropped"), std::string::npos);
+  EXPECT_NE(inject.history()[1].describe().find("priorities"),
+            std::string::npos);
+  EXPECT_EQ(inject.history()[0].kind, FaultKind::kDropRule);
+  EXPECT_EQ(inject.history()[1].kind, FaultKind::kIgnorePriority);
+}
+
+TEST_F(FaultTest, RemoveAclEntryBoundsChecked) {
+  Match ssh;
+  ssh.dst_port = 22;
+  net.at(0).config().in_acls[3] = Acl{}.deny(ssh);
+  EXPECT_FALSE(inject.remove_acl_entry(0, 3, true, 5));   // bad index
+  EXPECT_FALSE(inject.remove_acl_entry(0, 2, true, 0));   // no ACL there
+  EXPECT_FALSE(inject.remove_acl_entry(0, 3, false, 0));  // wrong direction
+  EXPECT_TRUE(inject.remove_acl_entry(0, 3, true, 0));
+  EXPECT_TRUE(net.at(0).config().in_acl(3).entries().empty());
+}
+
+}  // namespace
+}  // namespace veridp

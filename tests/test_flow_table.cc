@@ -1,0 +1,128 @@
+// FlowTable tests: priority semantics, tie-breaking, mutation, and the
+// broken no-priority mode (§2.2's premature-switch behaviour).
+#include "flow/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veridp {
+namespace {
+
+PacketHeader to(Ipv4 dst, std::uint16_t dport = 80) {
+  PacketHeader h;
+  h.src_ip = Ipv4::of(10, 0, 0, 1);
+  h.dst_ip = dst;
+  h.proto = kProtoTcp;
+  h.src_port = 1000;
+  h.dst_port = dport;
+  return h;
+}
+
+FlowRule rule(RuleId id, std::int32_t prio, const Prefix& dst, PortId out) {
+  return FlowRule{id, prio, Match::dst_prefix(dst), Action::output(out)};
+}
+
+TEST(FlowTable, EmptyTableMisses) {
+  FlowTable t;
+  EXPECT_EQ(t.lookup(to(Ipv4::of(10, 0, 0, 2))), nullptr);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 0, 2))), kDropPort);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(FlowTable, HighestPriorityWins) {
+  FlowTable t;
+  t.add(rule(1, 8, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  t.add(rule(2, 24, Prefix{Ipv4::of(10, 0, 2, 0), 24}, 2));
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 9))), 2u);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 9, 9, 9))), 1u);
+}
+
+TEST(FlowTable, InsertionOrderIndependentOfAddOrder) {
+  FlowTable a, b;
+  const auto r1 = rule(1, 8, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  const auto r2 = rule(2, 24, Prefix{Ipv4::of(10, 0, 2, 0), 24}, 2);
+  a.add(r1);
+  a.add(r2);
+  b.add(r2);
+  b.add(r1);
+  EXPECT_EQ(a.lookup_port(to(Ipv4::of(10, 0, 2, 9))),
+            b.lookup_port(to(Ipv4::of(10, 0, 2, 9))));
+  // rules() is priority-sorted in both.
+  EXPECT_EQ(a.rules().front().id, 2u);
+  EXPECT_EQ(b.rules().front().id, 2u);
+}
+
+TEST(FlowTable, EqualPriorityTieBreaksByInsertion) {
+  FlowTable t;
+  t.add(rule(1, 10, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  t.add(rule(2, 10, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 2));
+  const FlowRule* hit = t.lookup(to(Ipv4::of(10, 1, 1, 1)));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id, 1u);  // first inserted wins the tie
+}
+
+TEST(FlowTable, DropActionDrops) {
+  FlowTable t;
+  t.add(FlowRule{1, 100, Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 8}),
+                 Action::drop()});
+  t.add(rule(2, 1, Prefix{}, 7));
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 1, 1, 1))), kDropPort);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(11, 1, 1, 1))), 7u);
+}
+
+TEST(FlowTable, RemoveAndFind) {
+  FlowTable t;
+  t.add(rule(1, 8, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  t.add(rule(2, 16, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2));
+  ASSERT_NE(t.find(2), nullptr);
+  auto removed = t.remove(2);
+  ASSERT_TRUE(removed);
+  EXPECT_EQ(removed->id, 2u);
+  EXPECT_EQ(t.find(2), nullptr);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 1, 1, 1))), 1u);
+  EXPECT_FALSE(t.remove(2).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlowTable, SetActionRewires) {
+  FlowTable t;
+  t.add(rule(1, 8, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  EXPECT_TRUE(t.set_action(1, Action::output(4)));
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 1, 1, 1))), 4u);
+  EXPECT_TRUE(t.set_action(1, Action::drop()));
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 1, 1, 1))), kDropPort);
+  EXPECT_FALSE(t.set_action(99, Action::drop()));
+}
+
+TEST(FlowTable, IgnorePriorityModeUsesInsertionOrder) {
+  // The HP-5406zl failure: low-priority rule inserted first wins.
+  FlowTable t;
+  t.add(rule(1, 1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));    // broad, low
+  t.add(rule(2, 100, Prefix{Ipv4::of(10, 0, 2, 0), 24}, 2)); // specific, high
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 1))), 2u);
+  t.ignore_priority(true);
+  EXPECT_TRUE(t.priority_ignored());
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 1))), 1u);  // wrong rule!
+  t.ignore_priority(false);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 1))), 2u);
+}
+
+TEST(FlowTable, MultiFieldMatch) {
+  FlowTable t;
+  Match m = Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 0), 24});
+  m.dst_port = 22;
+  t.add(FlowRule{1, 50, m, Action::output(3)});
+  t.add(rule(2, 10, Prefix{Ipv4::of(10, 0, 2, 0), 24}, 4));
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 1), 22)), 3u);
+  EXPECT_EQ(t.lookup_port(to(Ipv4::of(10, 0, 2, 1), 80)), 4u);
+}
+
+TEST(FlowTable, ClearEmptiesEverything) {
+  FlowTable t;
+  t.add(rule(1, 8, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.lookup(to(Ipv4::of(10, 1, 1, 1))), nullptr);
+}
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,218 @@
+// The paper's §6.2 function tests, reproduced on the Stanford-like
+// backbone: black hole, path deviation, access violation, loop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "controller/policy.hpp"
+#include "controller/routing.hpp"
+#include "dataplane/fault.hpp"
+#include "testutil.hpp"
+#include "veridp/server.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace {
+
+using testutil::header;
+
+class FunctionTest : public ::testing::Test {
+ protected:
+  FunctionTest()
+      : topo(stanford_like(14, 2)),  // full 26 switches, 2 edges/zone
+        controller(topo),
+        server(controller, Server::Mode::kFullRebuild),
+        net(topo) {
+    routing::install_shortest_paths(controller);
+    server.sync();
+    controller.deploy(net);
+    boza = topo.find("boza");
+    coza = topo.find("coza");
+    sozb = topo.find("sozb");
+    bbra = topo.find("bbra");
+    bbrb = topo.find("bbrb");
+  }
+
+  // A flow from boza's first edge subnet to coza's first edge subnet.
+  workload::Flow boza_to_coza() {
+    const Prefix src = *topo.subnet(PortKey{boza, 4});
+    const Prefix dst = *topo.subnet(PortKey{coza, 4});
+    return {PortKey{boza, 4},
+            header(workload::host_in(src), workload::host_in(dst))};
+  }
+
+  // The installed rule at `sw` whose dst prefix equals `p`.
+  const FlowRule* rule_for(SwitchId sw, const Prefix& p) {
+    for (const FlowRule& r : net.at(sw).config().table.rules())
+      if (r.match.dst == p) return &r;
+    return nullptr;
+  }
+
+  Topology topo;
+  Controller controller;
+  Server server;
+  Network net;
+  SwitchId boza, coza, sozb, bbra, bbrb;
+};
+
+TEST_F(FunctionTest, BaselineAllPingsVerify) {
+  for (const auto& flow : workload::ping_all(topo)) {
+    const auto r = net.inject(flow.header, flow.entry);
+    ASSERT_EQ(r.disposition, Disposition::kDelivered);
+    for (const TagReport& rep : r.reports)
+      ASSERT_TRUE(server.verify(rep).ok()) << flow.header.str();
+  }
+}
+
+// §6.2 "Black hole": the forwarding rule at boza is replaced by a drop.
+TEST_F(FunctionTest, BlackHoleDetectedAndLocalized) {
+  const auto flow = boza_to_coza();
+  const Prefix dst = *topo.subnet(PortKey{coza, 4});
+  const FlowRule* victim = rule_for(boza, dst);
+  ASSERT_NE(victim, nullptr);
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.replace_with_drop(boza, victim->id));
+
+  const auto r = net.inject(flow.header, flow.entry);
+  EXPECT_EQ(r.disposition, Disposition::kDropped);
+  EXPECT_EQ(r.exit.sw, boza);
+  ASSERT_EQ(r.reports.size(), 1u);
+  const auto verdict = server.verify(r.reports[0]);
+  EXPECT_FALSE(verdict.ok());
+  // Localization recovers the one-hop drop path and blames boza.
+  const auto inferred = server.localize(r.reports[0]);
+  ASSERT_TRUE(inferred.recovered(r.path));
+  for (const Candidate& cand : inferred.candidates)
+    if (cand.path == r.path) EXPECT_EQ(cand.deviating_switch, boza);
+}
+
+// §6.2 "Path deviation": the same rule is rewired toward bbrb.
+TEST_F(FunctionTest, PathDeviationDetectedAndLocalized) {
+  const auto flow = boza_to_coza();
+  const Prefix dst = *topo.subnet(PortKey{coza, 4});
+  const FlowRule* victim = rule_for(boza, dst);
+  ASSERT_NE(victim, nullptr);
+  const PortId original = victim->action.out;
+  const PortId detour = original == 1 ? 2 : 1;  // bbra <-> bbrb uplinks
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.rewrite_rule_output(boza, victim->id, detour));
+
+  const auto r = net.inject(flow.header, flow.entry);
+  // Still delivered (the other backbone router also routes to coza)...
+  EXPECT_EQ(r.disposition, Disposition::kDelivered);
+  ASSERT_EQ(r.reports.size(), 1u);
+  // ...which is exactly what reception-checking tools cannot see; the
+  // tag gives it away.
+  const auto verdict = server.verify(r.reports[0]);
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status, VerifyStatus::kTagMismatch);
+  const auto inferred = server.localize(r.reports[0]);
+  ASSERT_TRUE(inferred.recovered(r.path));
+  for (const Candidate& cand : inferred.candidates)
+    if (cand.path == r.path) EXPECT_EQ(cand.deviating_switch, boza);
+}
+
+// §6.2 "Access violation": an ACL deny entry is lost at sozb.
+TEST_F(FunctionTest, AccessViolationDetected) {
+  // Policy: sozb's first edge port must not send SSH to coza's subnet.
+  const Prefix dst = *topo.subnet(PortKey{coza, 4});
+  Match deny = Match::dst_prefix(dst);
+  deny.dst_port = 22;
+  policy::deny_inbound(controller, sozb, 4, deny);
+  server.sync();  // policy change reaches the server
+  controller.deploy(net);
+
+  const Prefix src = *topo.subnet(PortKey{sozb, 4});
+  const auto h = header(workload::host_in(src), workload::host_in(dst), 22);
+
+  // Consistent state: the data plane drops, and the drop verifies.
+  const auto before = net.inject(h, PortKey{sozb, 4});
+  EXPECT_EQ(before.disposition, Disposition::kDropped);
+  EXPECT_TRUE(server.verify(before.reports[0]).ok());
+
+  // Fault: the ACL entry disappears from the switch.
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.remove_acl_entry(sozb, 4, /*inbound=*/true, 0));
+  const auto after = net.inject(h, PortKey{sozb, 4});
+  EXPECT_EQ(after.disposition, Disposition::kDelivered);
+  ASSERT_EQ(after.reports.size(), 1u);
+  const auto verdict = server.verify(after.reports[0]);
+  EXPECT_FALSE(verdict.ok()) << "packet was received where policy forbids";
+}
+
+// §6.2 "Loop": the data plane develops a forwarding loop that the
+// control plane does not have.
+TEST_F(FunctionTest, LoopDetectedViaTtlReport) {
+  const Prefix dst = *topo.subnet(PortKey{coza, 4});
+  // bbra's rule for coza's subnet is rewired back down to boza, while
+  // boza still points up to bbra: boza <-> bbra ping-pong.
+  const FlowRule* boza_rule = rule_for(boza, dst);
+  const FlowRule* bbra_rule = rule_for(bbra, dst);
+  ASSERT_NE(boza_rule, nullptr);
+  ASSERT_NE(bbra_rule, nullptr);
+  ASSERT_EQ(boza_rule->action.out, 1u);  // sanity: boza routes via bbra
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.rewrite_rule_output(bbra, bbra_rule->id,
+                                         /*toward boza=*/1));
+
+  const auto flow = boza_to_coza();
+  const auto r = net.inject(flow.header, flow.entry);
+  EXPECT_EQ(r.disposition, Disposition::kTtlExpired);
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_FALSE(server.verify(r.reports[0]).ok());
+}
+
+// §2.2 "Premature switch implementation": priorities ignored; a broad
+// low-priority rule inserted earlier hijacks specific traffic.
+TEST_F(FunctionTest, PriorityIgnoranceDetected) {
+  // Give boza a broad low-priority route for all of 10.0.0.0/8 toward
+  // bbrb (legitimate backup), installed FIRST; per-subnet /20 rules are
+  // more specific and normally win.
+  controller.add_rule(boza, 1,
+                      Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 8}),
+                      Action::output(2));
+  server.sync();
+  controller.deploy(net);
+  // Re-install in broken order: the physical table of boza ignores
+  // priorities and matches in insertion order; make the /8 oldest.
+  auto& table = net.at(boza).config().table;
+  std::vector<FlowRule> rules = table.rules();
+  std::stable_sort(rules.begin(), rules.end(),
+                   [](const FlowRule& a, const FlowRule& b) {
+                     return a.priority < b.priority;
+                   });
+  table.clear();
+  for (const FlowRule& r : rules) table.add(r);
+  FaultInjector inject(net);
+  inject.ignore_priority(boza);
+
+  std::size_t failures = 0;
+  const auto flow = boza_to_coza();
+  const auto r = net.inject(flow.header, flow.entry);
+  for (const TagReport& rep : r.reports)
+    if (!server.verify(rep).ok()) ++failures;
+  EXPECT_GT(failures, 0u);
+}
+
+// §2.2 "External rule modification": dpctl-style insertion behind the
+// controller's back redirects traffic.
+TEST_F(FunctionTest, ExternalRuleDetected) {
+  const Prefix dst = *topo.subnet(PortKey{coza, 4});
+  Match hijack = Match::dst_prefix(dst);
+  FaultInjector inject(net);
+  inject.insert_external_rule(
+      boza, FlowRule{99999, 1000, hijack, Action::output(2)});
+
+  const auto flow = boza_to_coza();
+  const auto r = net.inject(flow.header, flow.entry);
+  ASSERT_FALSE(r.reports.empty());
+  bool failed = false;
+  for (const TagReport& rep : r.reports)
+    if (!server.verify(rep).ok()) failed = true;
+  EXPECT_TRUE(failed);
+  ASSERT_EQ(inject.history().size(), 1u);
+  EXPECT_EQ(inject.history()[0].kind, FaultKind::kExternalRule);
+}
+
+}  // namespace
+}  // namespace veridp

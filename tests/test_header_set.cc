@@ -1,0 +1,161 @@
+// HeaderSet tests: field constructors, algebra, membership, sampling.
+#include "header/header_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veridp {
+namespace {
+
+PacketHeader mk(Ipv4 src, Ipv4 dst, std::uint8_t proto, std::uint16_t sp,
+                std::uint16_t dp) {
+  return PacketHeader{src, dst, proto, sp, dp};
+}
+
+class HeaderSetTest : public ::testing::Test {
+ protected:
+  HeaderSpace space;
+};
+
+TEST_F(HeaderSetTest, AllAndNone) {
+  EXPECT_TRUE(space.all().is_all());
+  EXPECT_TRUE(space.none().empty());
+  EXPECT_TRUE(space.all().contains(mk(Ipv4::of(1, 2, 3, 4), Ipv4::of(5, 6, 7, 8),
+                                      kProtoTcp, 1, 2)));
+}
+
+TEST_F(HeaderSetTest, FieldEq) {
+  const HeaderSet s = space.field_eq(Field::DstPort, 22);
+  EXPECT_TRUE(s.contains(mk({}, {}, kProtoTcp, 5, 22)));
+  EXPECT_FALSE(s.contains(mk({}, {}, kProtoTcp, 5, 23)));
+  // Exactly 2^(104-16) headers.
+  EXPECT_DOUBLE_EQ(s.count(), std::exp2(104 - 16));
+}
+
+TEST_F(HeaderSetTest, IpPrefix) {
+  const Prefix p{Ipv4::of(10, 0, 2, 0), 24};
+  const HeaderSet s = space.ip_prefix(Field::DstIp, p);
+  EXPECT_TRUE(s.contains(mk({}, Ipv4::of(10, 0, 2, 1), kProtoTcp, 0, 0)));
+  EXPECT_FALSE(s.contains(mk({}, Ipv4::of(10, 0, 3, 1), kProtoTcp, 0, 0)));
+  EXPECT_DOUBLE_EQ(s.count(), std::exp2(104 - 24));
+  // /0 prefix is the universal set.
+  EXPECT_TRUE(space.ip_prefix(Field::SrcIp, Prefix{}).is_all());
+}
+
+TEST_F(HeaderSetTest, PrefixNesting) {
+  const HeaderSet wide =
+      space.ip_prefix(Field::DstIp, Prefix{Ipv4::of(10, 0, 0, 0), 8});
+  const HeaderSet narrow =
+      space.ip_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  EXPECT_TRUE(narrow.subset_of(wide));
+  EXPECT_FALSE(wide.subset_of(narrow));
+  EXPECT_EQ((narrow & wide), narrow);
+  EXPECT_EQ((narrow | wide), wide);
+}
+
+TEST_F(HeaderSetTest, ComplementMakesDstPortNe22) {
+  // The paper's Table-1 example: dst_port != 22.
+  const HeaderSet ne22 = ~space.field_eq(Field::DstPort, 22);
+  EXPECT_FALSE(ne22.contains(mk({}, {}, kProtoTcp, 0, 22)));
+  EXPECT_TRUE(ne22.contains(mk({}, {}, kProtoTcp, 0, 80)));
+  EXPECT_DOUBLE_EQ(ne22.count(), std::exp2(104) - std::exp2(104 - 16));
+}
+
+TEST_F(HeaderSetTest, SingletonHasExactlyOneMember) {
+  const PacketHeader h =
+      mk(Ipv4::of(10, 0, 1, 1), Ipv4::of(10, 0, 2, 1), kProtoTcp, 4242, 22);
+  const HeaderSet s = space.singleton(h);
+  EXPECT_DOUBLE_EQ(s.count(), 1.0);
+  EXPECT_TRUE(s.contains(h));
+  auto member = s.any_member();
+  ASSERT_TRUE(member);
+  EXPECT_EQ(*member, h);
+}
+
+TEST_F(HeaderSetTest, SampleIsAlwaysMember) {
+  Rng rng(99);
+  const HeaderSet s =
+      space.ip_prefix(Field::DstIp, Prefix{Ipv4::of(10, 2, 0, 0), 16}) &
+      space.field_eq(Field::Proto, kProtoUdp);
+  for (int i = 0; i < 100; ++i) {
+    auto h = s.sample(rng);
+    ASSERT_TRUE(h);
+    EXPECT_TRUE(s.contains(*h));
+    EXPECT_EQ(h->proto, kProtoUdp);
+    EXPECT_TRUE((Prefix{Ipv4::of(10, 2, 0, 0), 16}).contains(h->dst_ip));
+  }
+  EXPECT_FALSE(space.none().sample(rng).has_value());
+}
+
+TEST_F(HeaderSetTest, DifferenceAndXor) {
+  const HeaderSet a = space.field_eq(Field::Proto, kProtoTcp);
+  const HeaderSet b = space.field_eq(Field::DstPort, 80);
+  const HeaderSet tcp_not_80 = a - b;
+  EXPECT_TRUE(tcp_not_80.contains(mk({}, {}, kProtoTcp, 0, 81)));
+  EXPECT_FALSE(tcp_not_80.contains(mk({}, {}, kProtoTcp, 0, 80)));
+  EXPECT_EQ((a ^ b), ((a | b) - (a & b)));
+}
+
+TEST_F(HeaderSetTest, EmptyIntersectionOfDisjointPrefixes) {
+  const HeaderSet a =
+      space.ip_prefix(Field::DstIp, Prefix{Ipv4::of(10, 0, 0, 0), 16});
+  const HeaderSet b =
+      space.ip_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  EXPECT_TRUE((a & b).empty());
+  EXPECT_TRUE((a - b) == a);
+}
+
+// ---- Range sweep property ------------------------------------------------
+
+struct RangeCase {
+  std::uint64_t lo, hi;
+};
+
+class FieldRange : public ::testing::TestWithParam<RangeCase> {
+ protected:
+  HeaderSpace space;
+};
+
+TEST_P(FieldRange, MembershipMatchesArithmetic) {
+  const auto [lo, hi] = GetParam();
+  const HeaderSet s = space.field_range(Field::DstPort, lo, hi);
+  // Check boundary and interior points.
+  for (std::uint64_t v :
+       {std::uint64_t{0}, lo > 0 ? lo - 1 : 0, lo, (lo + hi) / 2, hi,
+        hi < 65535 ? hi + 1 : std::uint64_t{65535}, std::uint64_t{65535}}) {
+    const bool expect = v >= lo && v <= hi;
+    EXPECT_EQ(s.contains(mk({}, {}, kProtoTcp, 0,
+                            static_cast<std::uint16_t>(v))),
+              expect)
+        << "v=" << v;
+  }
+  EXPECT_DOUBLE_EQ(s.count(),
+                   std::exp2(104 - 16) * static_cast<double>(hi - lo + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, FieldRange,
+    ::testing::Values(RangeCase{0, 0}, RangeCase{0, 1023}, RangeCase{22, 22},
+                      RangeCase{22, 80}, RangeCase{1024, 65535},
+                      RangeCase{0, 65535}, RangeCase{65535, 65535},
+                      RangeCase{1, 65534}));
+
+// ---- Match/contains agreement property -----------------------------------
+
+TEST_F(HeaderSetTest, BitEncodingRoundTrip) {
+  Rng rng(123);
+  for (int t = 0; t < 200; ++t) {
+    PacketHeader h;
+    h.src_ip = Ipv4{static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff))};
+    h.dst_ip = Ipv4{static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff))};
+    h.proto = static_cast<std::uint8_t>(rng.uniform(0, 255));
+    h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 65535));
+    h.dst_port = static_cast<std::uint16_t>(rng.uniform(0, 65535));
+    std::vector<bool> bits(kHeaderBits);
+    for (int v = 0; v < kHeaderBits; ++v)
+      bits[static_cast<std::size_t>(v)] = h.bit(v);
+    EXPECT_EQ(header_from_bits(bits), h);
+  }
+}
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,190 @@
+// Match & ACL tests, centered on the key agreement property: the concrete
+// (data-plane) evaluation and the BDD (control-plane) translation must
+// decide identically for every header.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flow/acl.hpp"
+#include "flow/match.hpp"
+
+namespace veridp {
+namespace {
+
+PacketHeader random_header(Rng& rng) {
+  PacketHeader h;
+  // Cluster values so matches actually trigger sometimes.
+  h.src_ip = Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  h.dst_ip = Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  h.proto = rng.chance(0.5) ? kProtoTcp : kProtoUdp;
+  h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 3));
+  h.dst_port = static_cast<std::uint16_t>(rng.uniform(20, 25));
+  return h;
+}
+
+Match random_match(Rng& rng) {
+  Match m;
+  if (rng.chance(0.5))
+    m.src = Prefix{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 3)), 0),
+                   static_cast<std::uint8_t>(rng.uniform(8, 24))};
+  if (rng.chance(0.7))
+    m.dst = Prefix{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 3)), 0),
+                   static_cast<std::uint8_t>(rng.uniform(8, 24))};
+  if (rng.chance(0.3)) m.proto = rng.chance(0.5) ? kProtoTcp : kProtoUdp;
+  if (rng.chance(0.3))
+    m.src_port = static_cast<std::uint16_t>(rng.uniform(0, 3));
+  if (rng.chance(0.3))
+    m.dst_port = static_cast<std::uint16_t>(rng.uniform(20, 25));
+  return m;
+}
+
+TEST(Match, AnyMatchesEverything) {
+  const Match any = Match::any();
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(any.matches(random_header(rng)));
+  EXPECT_TRUE(any.is_dst_prefix_only());  // /0 dst counts as prefix-only
+  HeaderSpace space;
+  EXPECT_TRUE(any.to_header_set(space).is_all());
+}
+
+TEST(Match, DstPrefixOnlyDetection) {
+  Match m = Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 8});
+  EXPECT_TRUE(m.is_dst_prefix_only());
+  m.dst_port = 80;
+  EXPECT_FALSE(m.is_dst_prefix_only());
+  Match s;
+  s.src = Prefix{Ipv4::of(10, 0, 0, 0), 8};
+  EXPECT_FALSE(s.is_dst_prefix_only());
+}
+
+TEST(Match, FieldSemantics) {
+  Match m;
+  m.src = Prefix{Ipv4::of(10, 0, 0, 0), 8};
+  m.dst = Prefix{Ipv4::of(10, 1, 0, 0), 16};
+  m.proto = kProtoTcp;
+  m.dst_port = 22;
+  PacketHeader h;
+  h.src_ip = Ipv4::of(10, 5, 5, 5);
+  h.dst_ip = Ipv4::of(10, 1, 2, 3);
+  h.proto = kProtoTcp;
+  h.dst_port = 22;
+  EXPECT_TRUE(m.matches(h));
+  h.dst_port = 23;
+  EXPECT_FALSE(m.matches(h));
+  h.dst_port = 22;
+  h.proto = kProtoUdp;
+  EXPECT_FALSE(m.matches(h));
+  h.proto = kProtoTcp;
+  h.src_ip = Ipv4::of(11, 0, 0, 1);
+  EXPECT_FALSE(m.matches(h));
+}
+
+TEST(Match, StrIsReadable) {
+  Match m;
+  m.dst = Prefix{Ipv4::of(10, 1, 0, 0), 16};
+  m.dst_port = 22;
+  EXPECT_EQ(m.str(), "dst=10.1.0.0/16, dport=22");
+  EXPECT_EQ(Match::any().str(), "*");
+}
+
+// The agreement property (swept over seeds).
+class MatchAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchAgreement, ConcreteAndSymbolicAgree) {
+  HeaderSpace space;
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    const Match m = random_match(rng);
+    const HeaderSet s = m.to_header_set(space);
+    for (int t = 0; t < 50; ++t) {
+      const PacketHeader h = random_header(rng);
+      EXPECT_EQ(m.matches(h), s.contains(h)) << m.str() << " vs " << h.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchAgreement,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+// ---- ACLs ------------------------------------------------------------
+
+TEST(Acl, DefaultPermitsAll) {
+  const Acl acl;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(acl.permits(random_header(rng)));
+  EXPECT_TRUE(acl.trivially_permits_all());
+}
+
+TEST(Acl, FirstMatchWins) {
+  Acl acl;
+  Match ssh;
+  ssh.dst_port = 22;
+  Match ten;
+  ten.dst = Prefix{Ipv4::of(10, 0, 0, 0), 8};
+  acl.permit(ssh).deny(ten);  // ssh to 10/8 is permitted (first match)
+  PacketHeader h;
+  h.dst_ip = Ipv4::of(10, 1, 1, 1);
+  h.dst_port = 22;
+  EXPECT_TRUE(acl.permits(h));
+  h.dst_port = 80;
+  EXPECT_FALSE(acl.permits(h));
+  h.dst_ip = Ipv4::of(11, 1, 1, 1);
+  EXPECT_TRUE(acl.permits(h));
+}
+
+TEST(Acl, DefaultDenyMode) {
+  Acl acl(false);
+  Match web;
+  web.dst_port = 80;
+  acl.permit(web);
+  PacketHeader h;
+  h.dst_port = 80;
+  EXPECT_TRUE(acl.permits(h));
+  h.dst_port = 81;
+  EXPECT_FALSE(acl.permits(h));
+}
+
+TEST(Acl, RemoveEntryRestoresTraffic) {
+  Acl acl;
+  Match ten;
+  ten.dst = Prefix{Ipv4::of(10, 0, 0, 0), 8};
+  acl.deny(ten);
+  PacketHeader h;
+  h.dst_ip = Ipv4::of(10, 63, 16, 1);
+  EXPECT_FALSE(acl.permits(h));
+  acl.remove_entry(0);
+  EXPECT_TRUE(acl.permits(h));
+}
+
+class AclAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AclAgreement, ConcreteAndSymbolicAgree) {
+  HeaderSpace space;
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    Acl acl(rng.chance(0.8));
+    const int n = static_cast<int>(rng.uniform(0, 5));
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.5))
+        acl.permit(random_match(rng));
+      else
+        acl.deny(random_match(rng));
+    }
+    const HeaderSet permitted = acl.permitted(space);
+    for (int t = 0; t < 60; ++t) {
+      const PacketHeader h = random_header(rng);
+      EXPECT_EQ(acl.permits(h), permitted.contains(h)) << h.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AclAgreement,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace veridp

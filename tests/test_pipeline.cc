@@ -1,0 +1,145 @@
+// VeriDP pipeline tests: Algorithm 1 line by line.
+#include "dataplane/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veridp {
+namespace {
+
+PacketHeader hdr() {
+  PacketHeader h;
+  h.src_ip = Ipv4::of(10, 0, 1, 1);
+  h.dst_ip = Ipv4::of(10, 0, 2, 1);
+  h.proto = kProtoTcp;
+  h.src_port = 1234;
+  h.dst_port = 22;
+  return h;
+}
+
+TEST(Pipeline, EntrySwitchInitializesShim) {
+  VeriDpPipeline p(/*sw=*/3, /*tag_bits=*/16);
+  Packet pkt;
+  pkt.header = hdr();
+  auto report = p.process(pkt, pkt.header, /*x=*/1, /*y=*/2, /*x_is_edge=*/true,
+                          /*y_is_edge=*/false, 0.0);
+  EXPECT_FALSE(report.has_value());
+  EXPECT_TRUE(pkt.marker);
+  EXPECT_EQ(pkt.entry, (PortKey{3, 1}));
+  EXPECT_EQ(pkt.ttl, kMaxPathLength - 1);  // init then decrement
+  EXPECT_EQ(pkt.tag, BloomTag::of_hop(Hop{1, 3, 2}, 16));
+  EXPECT_EQ(p.sampled_count(), 1u);
+}
+
+TEST(Pipeline, TagAccumulatesAcrossHops) {
+  VeriDpPipeline entry(0), mid(1), exit_sw(2);
+  Packet pkt;
+  pkt.header = hdr();
+  entry.process(pkt, pkt.header, 1, 2, true, false, 0.0);
+  mid.process(pkt, pkt.header, 1, 3, false, false, 0.0);
+  auto report = exit_sw.process(pkt, pkt.header, 1, 2, false, true, 0.0);
+  ASSERT_TRUE(report.has_value());
+  BloomTag expect(16);
+  expect.insert(Hop{1, 0, 2});
+  expect.insert(Hop{1, 1, 3});
+  expect.insert(Hop{1, 2, 2});
+  EXPECT_EQ(report->tag, expect);
+  EXPECT_EQ(report->inport, (PortKey{0, 1}));
+  EXPECT_EQ(report->outport, (PortKey{2, 2}));
+  EXPECT_EQ(report->header, pkt.header);
+  EXPECT_EQ(pkt.ttl, kMaxPathLength - 3);
+}
+
+TEST(Pipeline, ReportAtDropPort) {
+  VeriDpPipeline p(5);
+  Packet pkt;
+  pkt.header = hdr();
+  auto report = p.process(pkt, pkt.header, 2, kDropPort, true, false, 0.0);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->outport, (PortKey{5, kDropPort}));
+  EXPECT_EQ(report->tag, BloomTag::of_hop(Hop{2, 5, kDropPort}, 16));
+  EXPECT_EQ(p.report_count(), 1u);
+}
+
+TEST(Pipeline, ReportOnTtlExpiry) {
+  VeriDpPipeline entry(0);
+  Packet pkt;
+  pkt.header = hdr();
+  entry.process(pkt, pkt.header, 1, 2, true, false, 0.0);
+  // Bounce between two internal pipelines until TTL exhausts.
+  VeriDpPipeline a(1), b(2);
+  std::optional<TagReport> report;
+  for (int i = 0; i < 2 * kMaxPathLength && !report; ++i)
+    report = (i % 2 == 0 ? a : b).process(pkt, pkt.header, 1, 2, false, false, 0.0);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(pkt.ttl, 0);
+  // Report's outport is an internal port — verification will fail,
+  // which is how loops surface (§6.2).
+  EXPECT_EQ(report->outport.port, 2u);
+}
+
+TEST(Pipeline, UnsampledPacketsAreUntouched) {
+  VeriDpPipeline p(0, 16, /*sample_interval=*/1e9);  // sample ~never twice
+  Packet first;
+  first.header = hdr();
+  p.process(first, first.header, 1, 2, true, false, 0.0);
+  EXPECT_TRUE(first.marker);  // first packet of a flow is sampled
+
+  Packet second;
+  second.header = hdr();
+  auto report = p.process(second, second.header, 1, 2, true, false, 1.0);  // within interval
+  EXPECT_FALSE(second.marker);
+  EXPECT_FALSE(report.has_value());
+  EXPECT_TRUE(second.tag.zero());
+  EXPECT_EQ(p.sampled_count(), 1u);
+
+  // Unsampled packets are also not tagged at later hops.
+  VeriDpPipeline mid(1);
+  mid.process(second, second.header, 1, 3, false, false, 1.0);
+  EXPECT_TRUE(second.tag.zero());
+}
+
+TEST(Pipeline, NonEntrySwitchNeverSamples) {
+  VeriDpPipeline p(7);
+  Packet pkt;
+  pkt.header = hdr();
+  // x is not an edge port: packet was never marked, stays unmarked.
+  auto report = p.process(pkt, pkt.header, 1, 2, false, false, 0.0);
+  EXPECT_FALSE(pkt.marker);
+  EXPECT_FALSE(report.has_value());
+  EXPECT_EQ(p.sampled_count(), 0u);
+}
+
+TEST(Pipeline, SingleHopEntryToExit) {
+  // Entry switch is also the exit switch (same-switch delivery).
+  VeriDpPipeline p(4);
+  Packet pkt;
+  pkt.header = hdr();
+  auto report = p.process(pkt, pkt.header, 1, 3, true, true, 0.0);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->inport, (PortKey{4, 1}));
+  EXPECT_EQ(report->outport, (PortKey{4, 3}));
+  EXPECT_EQ(report->tag, BloomTag::of_hop(Hop{1, 4, 3}, 16));
+}
+
+TEST(Pipeline, TagBitsConfigurable) {
+  for (int bits : {8, 16, 32, 64}) {
+    VeriDpPipeline p(0, bits);
+    Packet pkt;
+    pkt.header = hdr();
+    auto report = p.process(pkt, pkt.header, 1, 2, true, true, 0.0);
+    ASSERT_TRUE(report.has_value());
+    EXPECT_EQ(report->tag.bits(), bits);
+  }
+}
+
+TEST(PacketFormat, InportEncodingRoundTrips) {
+  // The paper's 14-bit inport id: 8 bits switch, 6 bits port.
+  for (SwitchId s : {0u, 1u, 17u, 255u})
+    for (PortId p : {1u, 2u, 33u, 63u}) {
+      const PortKey k{s, p};
+      EXPECT_EQ(decode_inport(encode_inport(k)), k);
+    }
+}
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,187 @@
+// Rule-tree tests (§4.4): prefix-containment structure, LPM-faithful port
+// predicates, delta bookkeeping, and add/remove inversion.
+#include "veridp/rule_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "flow/transfer.hpp"
+
+namespace veridp {
+namespace {
+
+PacketHeader to(Ipv4 dst) {
+  PacketHeader h;
+  h.dst_ip = dst;
+  h.proto = kProtoTcp;
+  return h;
+}
+
+TEST(RuleTree, EmptyTreeDropsEverything) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  EXPECT_TRUE(tree.drop_predicate().is_all());
+  for (PortId y = 1; y <= 4; ++y)
+    EXPECT_TRUE(tree.port_predicate(y).empty());
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST(RuleTree, SingleRuleMovesItsPrefixFromDrop) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  const Prefix p{Ipv4::of(10, 0, 0, 0), 8};
+  auto d = tree.add(1, p, 2);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->gaining_port, 2u);
+  EXPECT_EQ(d->losing_port, kDropPort);
+  EXPECT_EQ(d->moved, space.ip_prefix(Field::DstIp, p));
+  EXPECT_TRUE(tree.port_predicate(2).contains(to(Ipv4::of(10, 1, 1, 1))));
+  EXPECT_FALSE(tree.drop_predicate().contains(to(Ipv4::of(10, 1, 1, 1))));
+  EXPECT_TRUE(tree.drop_predicate().contains(to(Ipv4::of(11, 1, 1, 1))));
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST(RuleTree, NestedRuleTakesOnlyItsSlice) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  auto d = tree.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->losing_port, 1u);  // parent's port
+  EXPECT_TRUE(tree.port_predicate(2).contains(to(Ipv4::of(10, 1, 2, 3))));
+  EXPECT_FALSE(tree.port_predicate(1).contains(to(Ipv4::of(10, 1, 2, 3))));
+  EXPECT_TRUE(tree.port_predicate(1).contains(to(Ipv4::of(10, 2, 2, 3))));
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST(RuleTree, InsertingParentAfterChildAdoptsIt) {
+  // Insertion order must not matter: add /16 first, then the covering /8.
+  HeaderSpace space;
+  RuleTree a(space, 4), b(space, 4);
+  a.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  a.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  b.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  b.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  for (PortId y = 1; y <= 4; ++y)
+    EXPECT_EQ(a.port_predicate(y), b.port_predicate(y)) << "port " << y;
+  EXPECT_EQ(a.drop_predicate(), b.drop_predicate());
+  // The adopting add's delta must exclude the pre-existing child.
+  EXPECT_FALSE(b.port_predicate(1).contains(to(Ipv4::of(10, 1, 2, 3))));
+}
+
+TEST(RuleTree, DuplicatePrefixRejected) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  ASSERT_TRUE(tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1));
+  EXPECT_FALSE(tree.add(2, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 2));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RuleTree, RemoveRestoresParent) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  tree.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  auto d = tree.remove(2);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->gaining_port, 1u);
+  EXPECT_EQ(d->losing_port, 2u);
+  EXPECT_TRUE(tree.port_predicate(1).contains(to(Ipv4::of(10, 1, 2, 3))));
+  EXPECT_TRUE(tree.port_predicate(2).empty());
+  EXPECT_FALSE(tree.remove(2).has_value());
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST(RuleTree, RemoveMiddleReparentsGrandchildren) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  tree.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  tree.add(3, Prefix{Ipv4::of(10, 1, 2, 0), 24}, 3);
+  tree.remove(2);  // the /16 vanishes; the /24 must stay on port 3
+  EXPECT_TRUE(tree.port_predicate(3).contains(to(Ipv4::of(10, 1, 2, 9))));
+  EXPECT_TRUE(tree.port_predicate(1).contains(to(Ipv4::of(10, 1, 3, 9))));
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST(RuleTree, DropActionRules) {
+  HeaderSpace space;
+  RuleTree tree(space, 4);
+  tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  tree.add(2, Prefix{Ipv4::of(10, 5, 0, 0), 16}, kDropPort);
+  EXPECT_TRUE(tree.drop_predicate().contains(to(Ipv4::of(10, 5, 1, 1))));
+  EXPECT_FALSE(tree.port_predicate(1).contains(to(Ipv4::of(10, 5, 1, 1))));
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+// Property: RuleTree predicates == TransferFunction predicates for random
+// prefix rule sets with priority = prefix length (LPM).
+class RuleTreeLpm : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RuleTreeLpm, MatchesShadowSubtraction) {
+  HeaderSpace space;
+  Rng rng(GetParam());
+  RuleTree tree(space, 4);
+  SwitchConfig cfg;
+  std::unordered_set<std::uint64_t> used;
+  RuleId next = 1;
+  for (int i = 0; i < 40; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform(8, 28));
+    const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 255)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 255))),
+                   len};
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.len) << 32) | p.addr;
+    if (used.contains(key)) continue;
+    used.insert(key);
+    const PortId out = static_cast<PortId>(rng.uniform(1, 4));
+    const RuleId id = next++;
+    ASSERT_TRUE(tree.add(id, p, out));
+    cfg.table.add(FlowRule{id, p.len, Match::dst_prefix(p),
+                           Action::output(out)});
+  }
+  const auto tf = TransferFunction::compute(space, cfg, 4);
+  for (PortId y = 1; y <= 4; ++y)
+    EXPECT_EQ(tree.port_predicate(y), tf.fwd(1, y)) << "port " << y;
+  EXPECT_EQ(tree.drop_predicate(), tf.fwd_drop(1));
+  EXPECT_TRUE(tree.predicates_partition());
+}
+
+TEST_P(RuleTreeLpm, AddThenRemoveIsIdentity) {
+  HeaderSpace space;
+  Rng rng(GetParam() ^ 0x5a5a);
+  RuleTree tree(space, 4);
+  tree.add(1, Prefix{Ipv4::of(10, 0, 0, 0), 8}, 1);
+  tree.add(2, Prefix{Ipv4::of(10, 1, 0, 0), 16}, 2);
+  const HeaderSet before_p1 = tree.port_predicate(1);
+  const HeaderSet before_p2 = tree.port_predicate(2);
+  const HeaderSet before_drop = tree.drop_predicate();
+
+  // Random add/remove pairs always restore the original predicates.
+  for (int round = 0; round < 20; ++round) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform(9, 28));
+    const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 2)),
+                            static_cast<std::uint8_t>(rng.uniform(0, 255)), 0),
+                   len};
+    const PortId out = static_cast<PortId>(rng.uniform(1, 4));
+    auto added = tree.add(100 + static_cast<RuleId>(round), p, out);
+    if (!added) continue;  // duplicate of the two base rules
+    auto removed = tree.remove(100 + static_cast<RuleId>(round));
+    ASSERT_TRUE(removed);
+    EXPECT_EQ(removed->moved, added->moved);
+    EXPECT_EQ(removed->gaining_port, added->losing_port);
+    EXPECT_EQ(removed->losing_port, added->gaining_port);
+    EXPECT_EQ(tree.port_predicate(1), before_p1);
+    EXPECT_EQ(tree.port_predicate(2), before_p2);
+    EXPECT_EQ(tree.drop_predicate(), before_drop);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuleTreeLpm,
+                         ::testing::Values(7, 14, 21, 28, 35));
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,131 @@
+// Traffic-sampling tests (§4.5): interval semantics, the detection
+// latency bound, and the fixed-capacity hardware variant.
+#include "dataplane/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace veridp {
+namespace {
+
+PacketHeader flow(std::uint16_t sport) {
+  PacketHeader h;
+  h.src_ip = Ipv4::of(10, 0, 1, 1);
+  h.dst_ip = Ipv4::of(10, 0, 2, 1);
+  h.proto = kProtoTcp;
+  h.src_port = sport;
+  h.dst_port = 80;
+  return h;
+}
+
+TEST(FlowSampler, ZeroIntervalSamplesEverything) {
+  FlowSampler s(0.0);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.sample(flow(1), 0.0));
+}
+
+TEST(FlowSampler, FirstPacketOfFlowAlwaysSampled) {
+  FlowSampler s(100.0);
+  EXPECT_TRUE(s.sample(flow(1), 5.0));
+  EXPECT_TRUE(s.sample(flow(2), 5.0));  // different flow, own state
+  EXPECT_EQ(s.active_flows(), 2u);
+}
+
+TEST(FlowSampler, IntervalGatesSubsequentPackets) {
+  FlowSampler s(10.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  EXPECT_FALSE(s.sample(flow(1), 5.0));
+  EXPECT_FALSE(s.sample(flow(1), 10.0));  // strictly greater required
+  EXPECT_TRUE(s.sample(flow(1), 10.1));
+  // Sampling instant was updated at 10.1.
+  EXPECT_FALSE(s.sample(flow(1), 15.0));
+  EXPECT_TRUE(s.sample(flow(1), 20.2));
+}
+
+TEST(FlowSampler, UnsampledPacketsDoNotResetInterval) {
+  FlowSampler s(10.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  for (double t = 1.0; t <= 10.0; t += 1.0) EXPECT_FALSE(s.sample(flow(1), t));
+  EXPECT_TRUE(s.sample(flow(1), 10.5));
+}
+
+TEST(FlowSampler, PerFlowIntervalOverride) {
+  FlowSampler s(100.0);
+  s.set_interval(flow(1), 1.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  EXPECT_TRUE(s.sample(flow(1), 1.5));   // its own 1.0 interval
+  EXPECT_TRUE(s.sample(flow(2), 0.0));
+  EXPECT_FALSE(s.sample(flow(2), 1.5));  // default 100 interval
+}
+
+TEST(Sampling, IntervalForLatencyRespectsBound) {
+  EXPECT_DOUBLE_EQ(interval_for_latency(10.0, 3.0), 7.0);
+  EXPECT_DOUBLE_EQ(interval_for_latency(3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(interval_for_latency(1.0, 3.0), 0.0);  // clamped
+}
+
+// Worst-case detection latency property (the Figure-9 scenario): with
+// T_s = tau - T_a, a fault occurring right after a sampled packet is
+// re-sampled within tau.
+class DetectionLatency : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectionLatency, WorstCaseElapsedAtMostTau) {
+  const double tau = GetParam();
+  const double ta = 2.0;  // max inter-arrival gap
+  const double ts = interval_for_latency(tau, ta);
+  FlowSampler s(ts);
+
+  // Packets arrive every `ta`; the fault starts right after t0's sample.
+  double t0 = 0.0;
+  EXPECT_TRUE(s.sample(flow(1), t0));
+  const double fault_time = t0 + 0.001;
+  double t = t0;
+  double detected_at = -1.0;
+  for (int i = 1; i < 1000; ++i) {
+    t = t0 + i * ta;
+    if (s.sample(flow(1), t) && t >= fault_time) {
+      detected_at = t;
+      break;
+    }
+  }
+  ASSERT_GE(detected_at, 0.0);
+  EXPECT_LE(detected_at - fault_time, ts + ta) << "paper bound T_s + T_a";
+  EXPECT_LE(detected_at - fault_time, tau + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Taus, DetectionLatency,
+                         ::testing::Values(2.0, 4.0, 6.0, 10.0, 20.0));
+
+// ---- ArrayFlowSampler (hardware pipeline) ---------------------------------
+
+TEST(ArrayFlowSampler, TracksFlowsUpToCapacity) {
+  ArrayFlowSampler s(2, 10.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  EXPECT_TRUE(s.sample(flow(2), 0.0));
+  EXPECT_EQ(s.occupied(), 2u);
+  EXPECT_FALSE(s.sample(flow(1), 5.0));  // known flow, inside interval
+  EXPECT_TRUE(s.sample(flow(1), 10.5));
+}
+
+TEST(ArrayFlowSampler, EvictsLeastRecentlyHit) {
+  ArrayFlowSampler s(2, 10.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  EXPECT_TRUE(s.sample(flow(2), 1.0));
+  EXPECT_FALSE(s.sample(flow(1), 2.0));  // refresh flow 1's last-hit
+  // Flow 3 arrives: capacity full, flow 2 (last hit 1.0) is evicted.
+  EXPECT_TRUE(s.sample(flow(3), 3.0));
+  // Flow 2 returns: treated as new (first packet sampled again).
+  EXPECT_TRUE(s.sample(flow(2), 4.0));
+}
+
+TEST(ArrayFlowSampler, ZeroCapacitySamplesEverything) {
+  ArrayFlowSampler s(0, 100.0);
+  EXPECT_TRUE(s.sample(flow(1), 0.0));
+  EXPECT_TRUE(s.sample(flow(1), 0.1));
+}
+
+TEST(ArrayFlowSampler, ZeroIntervalSamplesEveryPacket) {
+  ArrayFlowSampler s(4, 0.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(s.sample(flow(1), 0.0));
+}
+
+}  // namespace
+}  // namespace veridp

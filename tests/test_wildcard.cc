@@ -1,0 +1,182 @@
+// Wildcard (ternary cube) set tests: correctness against the BDD
+// representation, and the §4.1 blow-up facts (dst_port != 22 needs 16
+// cubes).
+#include "header/wildcard.hpp"
+
+#include "bloom/xor_tag.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "header/header_set.hpp"
+
+namespace veridp {
+namespace {
+
+PacketHeader random_header(Rng& rng) {
+  PacketHeader h;
+  h.src_ip = Ipv4{static_cast<std::uint32_t>(rng.uniform(0, 0xffffffff))};
+  h.dst_ip = Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 255)),
+                      static_cast<std::uint8_t>(rng.uniform(0, 255)));
+  h.proto = rng.chance(0.5) ? kProtoTcp : kProtoUdp;
+  h.src_port = static_cast<std::uint16_t>(rng.uniform(0, 65535));
+  h.dst_port = static_cast<std::uint16_t>(rng.uniform(20, 25));
+  return h;
+}
+
+TEST(TernaryCube, AnyMatchesEverything) {
+  const TernaryCube c = TernaryCube::any();
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(c.matches(random_header(rng)));
+}
+
+TEST(TernaryCube, FieldConstraint) {
+  TernaryCube c = TernaryCube::any();
+  c.constrain_field(Field::DstPort, 22);
+  PacketHeader h;
+  h.dst_port = 22;
+  EXPECT_TRUE(c.matches(h));
+  h.dst_port = 23;
+  EXPECT_FALSE(c.matches(h));
+}
+
+TEST(TernaryCube, PrefixConstraint) {
+  TernaryCube c = TernaryCube::any();
+  c.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  PacketHeader h;
+  h.dst_ip = Ipv4::of(10, 1, 200, 3);
+  EXPECT_TRUE(c.matches(h));
+  h.dst_ip = Ipv4::of(10, 2, 200, 3);
+  EXPECT_FALSE(c.matches(h));
+}
+
+TEST(TernaryCube, IntersectConflictAndCover) {
+  TernaryCube a = TernaryCube::any();
+  a.constrain_field(Field::DstPort, 22);
+  TernaryCube b = TernaryCube::any();
+  b.constrain_field(Field::DstPort, 80);
+  EXPECT_FALSE(a.intersect(b).has_value());
+
+  TernaryCube wide = TernaryCube::any();
+  wide.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 0, 0, 0), 8});
+  TernaryCube narrow = TernaryCube::any();
+  narrow.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  auto both = wide.intersect(narrow);
+  ASSERT_TRUE(both);
+  EXPECT_EQ(*both, narrow);
+}
+
+TEST(WildcardSet, NotEqualsNeedsSixteenCubes) {
+  // The paper's §4.1 example: dst_port != 22 is a union of 16 wildcard
+  // expressions (one per bit of the 16-bit field).
+  TernaryCube ssh = TernaryCube::any();
+  ssh.constrain_field(Field::DstPort, 22);
+  const WildcardSet ne22 = WildcardSet::all().subtract(WildcardSet::of(ssh));
+  EXPECT_EQ(ne22.num_cubes(), 16u);
+  PacketHeader h;
+  h.dst_port = 22;
+  EXPECT_FALSE(ne22.contains(h));
+  h.dst_port = 80;
+  EXPECT_TRUE(ne22.contains(h));
+}
+
+TEST(WildcardSet, SubtractionIsExact) {
+  TernaryCube ten8 = TernaryCube::any();
+  ten8.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 0, 0, 0), 8});
+  TernaryCube ten1_16 = TernaryCube::any();
+  ten1_16.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  const WildcardSet rest =
+      WildcardSet::of(ten8).subtract(WildcardSet::of(ten1_16));
+  PacketHeader h;
+  h.dst_ip = Ipv4::of(10, 1, 2, 3);
+  EXPECT_FALSE(rest.contains(h));
+  h.dst_ip = Ipv4::of(10, 2, 2, 3);
+  EXPECT_TRUE(rest.contains(h));
+  h.dst_ip = Ipv4::of(11, 0, 0, 1);
+  EXPECT_FALSE(rest.contains(h));
+}
+
+TEST(WildcardSet, UnionPrunesSubsumedCubes) {
+  TernaryCube wide = TernaryCube::any();
+  wide.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 0, 0, 0), 8});
+  TernaryCube narrow = TernaryCube::any();
+  narrow.constrain_prefix(Field::DstIp, Prefix{Ipv4::of(10, 1, 0, 0), 16});
+  const WildcardSet u =
+      WildcardSet::of(narrow).unite(WildcardSet::of(wide));
+  EXPECT_EQ(u.num_cubes(), 1u);
+}
+
+// The agreement property: wildcard algebra == BDD algebra on random
+// operation trees, checked pointwise on random headers.
+class WildcardVsBdd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WildcardVsBdd, OperationsAgreePointwise) {
+  HeaderSpace space;
+  Rng rng(GetParam());
+
+  auto random_atom = [&rng, &space]() -> std::pair<WildcardSet, HeaderSet> {
+    TernaryCube c = TernaryCube::any();
+    HeaderSet h = space.all();
+    if (rng.chance(0.7)) {
+      const Prefix p{Ipv4::of(10, static_cast<std::uint8_t>(rng.uniform(0, 3)),
+                              static_cast<std::uint8_t>(rng.uniform(0, 255)), 0),
+                     static_cast<std::uint8_t>(rng.uniform(8, 24))};
+      c.constrain_prefix(Field::DstIp, p);
+      h &= space.ip_prefix(Field::DstIp, p);
+    }
+    if (rng.chance(0.4)) {
+      const std::uint16_t port = static_cast<std::uint16_t>(rng.uniform(20, 25));
+      c.constrain_field(Field::DstPort, port);
+      h &= space.field_eq(Field::DstPort, port);
+    }
+    return {WildcardSet::of(c), h};
+  };
+
+  for (int round = 0; round < 8; ++round) {
+    auto [wa, ba] = random_atom();
+    auto [wb, bb] = random_atom();
+    const auto pairs = {
+        std::pair{wa.unite(wb), ba | bb},
+        std::pair{wa.intersect(wb), ba & bb},
+        std::pair{wa.subtract(wb), ba - bb},
+    };
+    for (const auto& [wset, bset] : pairs) {
+      for (int t = 0; t < 40; ++t) {
+        const PacketHeader h = random_header(rng);
+        EXPECT_EQ(wset.contains(h), bset.contains(h)) << h.str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WildcardVsBdd,
+                         ::testing::Values(3, 6, 9, 12, 15));
+
+TEST(XorHashTag, DetectsPathChangesButHidesMembership) {
+  // Companion to bench/ablation_tagging: XOR-hash tags are order-
+  // insensitive accumulators that compare equal iff the hop multisets'
+  // hashes cancel identically — good enough for detection...
+  XorHashTag a(16), b(16);
+  a.insert(Hop{1, 0, 2});
+  a.insert(Hop{1, 1, 3});
+  b.insert(Hop{1, 1, 3});
+  b.insert(Hop{1, 0, 2});
+  EXPECT_EQ(a, b);  // commutative like the Bloom OR
+  XorHashTag c(16);
+  c.insert(Hop{1, 0, 2});
+  c.insert(Hop{1, 2, 3});  // different second hop
+  EXPECT_FALSE(a == c);
+  // ...but an even number of traversals of the same hop cancels out:
+  // a loop of period 2 through the same hop pair is INVISIBLE, while a
+  // Bloom OR keeps the bits set.
+  XorHashTag looped = a;
+  looped.insert(Hop{9, 9, 9});
+  looped.insert(Hop{9, 9, 9});
+  EXPECT_EQ(looped, a);
+}
+
+}  // namespace
+}  // namespace veridp

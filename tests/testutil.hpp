@@ -1,0 +1,83 @@
+// Shared test fixtures: the paper's Figure-5 toy configuration and small
+// helpers used across test files.
+#pragma once
+
+#include "controller/controller.hpp"
+#include "topo/generators.hpp"
+
+namespace veridp {
+namespace testutil {
+
+inline PacketHeader header(Ipv4 src, Ipv4 dst, std::uint16_t dport = 80,
+                           std::uint8_t proto = kProtoTcp,
+                           std::uint16_t sport = 40000) {
+  PacketHeader h;
+  h.src_ip = src;
+  h.dst_ip = dst;
+  h.proto = proto;
+  h.src_port = sport;
+  h.dst_port = dport;
+  return h;
+}
+
+/// The Figure-5 rule set (10 rules over S1, S2, S3).
+struct Figure5 {
+  Topology topo;
+  SwitchId s1, s2, s3;
+  RuleId r1, r2, r3, r4, r5, r6, r7, r8, r9, r10;
+
+  static constexpr std::uint16_t kSsh = 22;
+  static Ipv4 h1() { return Ipv4::of(10, 0, 1, 1); }
+  static Ipv4 h2() { return Ipv4::of(10, 0, 1, 2); }
+  static Ipv4 h3() { return Ipv4::of(10, 0, 2, 1); }
+};
+
+/// Installs the toy rules into `c` (which must be built over
+/// toy_figure5()). Mirrors the figure:
+///  S1: R1/R2 deliver H1/H2; R3 sends SSH-to-10.0.2/24 via S2
+///      (high priority); R4 sends other 10.0.2/24 via S3.
+///  S2: R5 in_port=1 -> middlebox; R6 in_port=3 -> S3.
+///  S3: R8 drops traffic from H2 (high priority); R7 delivers H3;
+///      R9/R10 return traffic to H1/H2 via S1.
+inline Figure5 install_figure5(Controller& c) {
+  Figure5 f;
+  f.topo = c.topology();  // copy for convenience
+  f.s1 = f.topo.find("S1");
+  f.s2 = f.topo.find("S2");
+  f.s3 = f.topo.find("S3");
+
+  f.r1 = c.add_rule(f.s1, 32, Match::dst_prefix(Prefix{Figure5::h1(), 32}),
+                    Action::output(1));
+  f.r2 = c.add_rule(f.s1, 32, Match::dst_prefix(Prefix{Figure5::h2(), 32}),
+                    Action::output(2));
+  Match ssh = Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 0), 24});
+  ssh.dst_port = Figure5::kSsh;
+  f.r3 = c.add_rule(f.s1, 100, ssh, Action::output(3));
+  f.r4 = c.add_rule(f.s1, 24,
+                    Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 0), 24}),
+                    Action::output(4));
+
+  Match from_p1 = Match::any();
+  from_p1.in_port = 1;
+  f.r5 = c.add_rule(f.s2, 50, from_p1, Action::output(3));
+  Match from_mb = Match::any();
+  from_mb.in_port = 3;
+  f.r6 = c.add_rule(f.s2, 50, from_mb, Action::output(2));
+
+  Match from_h2 = Match::any();
+  from_h2.src = Prefix{Figure5::h2(), 32};
+  f.r8 = c.add_rule(f.s3, 200, from_h2, Action::drop());
+  f.r7 = c.add_rule(f.s3, 32, Match::dst_prefix(Prefix{Figure5::h3(), 32}),
+                    Action::output(2));
+  f.r9 = c.add_rule(f.s3, 24,
+                    Match::dst_prefix(Prefix{Ipv4::of(10, 0, 1, 0), 24}),
+                    Action::output(3));
+  // S2 also returns 10.0.1/24 toward S1 if anything arrives from S3.
+  Match from_s3 = Match::any();
+  from_s3.in_port = 2;
+  f.r10 = c.add_rule(f.s2, 40, from_s3, Action::output(1));
+  return f;
+}
+
+}  // namespace testutil
+}  // namespace veridp

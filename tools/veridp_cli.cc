@@ -1,0 +1,212 @@
+// veridp_cli — command-line front end for the library.
+//
+//   veridp_cli topo <name>                     dump a topology
+//   veridp_cli pathtable <name> [--rules N]    build + summarize the path table
+//   veridp_cli monitor <name> --fault KIND [--seed S] [--repair]
+//                                              run a fault scenario end to end
+//
+// <name> ∈ {linear, fat4, fat6, stanford, internet2, toy}
+// KIND   ∈ {drop-rule, blackhole, rewire, external, priority}
+//
+// The CLI exists so the system can be exercised without writing C++;
+// every command prints a deterministic, diff-able report.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "controller/routing.hpp"
+#include "dataplane/fault.hpp"
+#include "topo/generators.hpp"
+#include "veridp/repair.hpp"
+#include "veridp/server.hpp"
+#include "veridp/workload.hpp"
+
+using namespace veridp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  veridp_cli topo <name>\n"
+               "  veridp_cli pathtable <name> [--rules N]\n"
+               "  veridp_cli monitor <name> --fault KIND [--seed S] [--repair]\n"
+               "names:  linear fat4 fat6 stanford internet2 toy\n"
+               "faults: drop-rule blackhole rewire external priority\n");
+  return 2;
+}
+
+std::optional<Topology> make_topo(const std::string& name) {
+  if (name == "linear") return linear(5);
+  if (name == "fat4") return fat_tree(4);
+  if (name == "fat6") return fat_tree(6);
+  if (name == "stanford") return stanford_like(14, 4);
+  if (name == "internet2") return internet2_like(8);
+  if (name == "toy") return toy_figure5();
+  return std::nullopt;
+}
+
+const char* flag_value(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  return nullptr;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+int cmd_topo(const Topology& topo) {
+  std::printf("switches: %zu, links: %zu, edge ports: %zu, subnets: %zu\n",
+              topo.num_switches(), topo.num_links(),
+              topo.edge_ports().size(), topo.subnets().size());
+  for (SwitchId s = 0; s < topo.num_switches(); ++s) {
+    std::printf("%-10s (%u ports)", topo.name(s).c_str(), topo.num_ports(s));
+    for (PortId p = 1; p <= topo.num_ports(s); ++p) {
+      const PortKey pk{s, p};
+      if (auto peer = topo.peer(pk)) {
+        if (*peer == pk)
+          std::printf("  %u->middlebox", p);
+        else
+          std::printf("  %u->%s.%u", p, topo.name(peer->sw).c_str(),
+                      peer->port);
+      } else if (auto subnet = topo.subnet(pk)) {
+        std::printf("  %u=%s", p, to_string(*subnet).c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_pathtable(Topology topo, std::size_t extra_rules) {
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  if (extra_rules > 0) {
+    Rng rng(1);
+    const std::size_t added = workload::add_specific_rules(c, rng, extra_rules);
+    std::printf("added %zu synthetic refinement rules\n", added);
+  }
+  server.sync();
+  const auto s = server.stats();
+  std::printf("rules: %zu\n", c.num_rules());
+  std::printf("path table: %zu port pairs, %zu paths, avg path length %.2f\n",
+              s.num_pairs, s.num_paths, s.avg_path_length);
+  return 0;
+}
+
+int cmd_monitor(Topology topo, const std::string& fault_kind,
+                std::uint64_t seed, bool do_repair) {
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  Rng rng(seed);
+  FaultInjector inject(net);
+
+  // Pick a victim rule on a switch that has any.
+  SwitchId sw = kNoSwitch;
+  RuleId victim = kNoRule;
+  PortId victim_out = kDropPort;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const SwitchId cand = static_cast<SwitchId>(rng.index(topo.num_switches()));
+    const auto& rules = net.at(cand).config().table.rules();
+    if (rules.empty()) continue;
+    const FlowRule& r = rules[rng.index(rules.size())];
+    sw = cand;
+    victim = r.id;
+    victim_out = r.action.out;
+    break;
+  }
+  if (sw == kNoSwitch) {
+    std::fprintf(stderr, "no rules installed?\n");
+    return 1;
+  }
+
+  if (fault_kind == "drop-rule") {
+    inject.drop_rule(sw, victim);
+  } else if (fault_kind == "blackhole") {
+    inject.replace_with_drop(sw, victim);
+  } else if (fault_kind == "rewire") {
+    PortId wrong = static_cast<PortId>(1 + rng.index(topo.num_ports(sw)));
+    if (wrong == victim_out) wrong = wrong == 1 ? 2 : wrong - 1;
+    inject.rewrite_rule_output(sw, victim, wrong);
+  } else if (fault_kind == "external") {
+    inject.insert_external_rule(
+        sw, FlowRule{999999, 100000, Match::any(),
+                     Action::output(static_cast<PortId>(
+                         1 + rng.index(topo.num_ports(sw))))});
+  } else if (fault_kind == "priority") {
+    inject.ignore_priority(sw);
+  } else {
+    return usage();
+  }
+  std::printf("fault: %s\n", inject.history().back().describe().c_str());
+
+  std::size_t failures = 0, localized = 0;
+  std::optional<TagReport> first;
+  for (const auto& f : workload::ping_all(topo)) {
+    const auto r = net.inject(f.header, f.entry);
+    for (const TagReport& rep : r.reports) {
+      if (server.verify(rep).ok()) continue;
+      ++failures;
+      if (!first) first = rep;
+      if (server.localize(rep).recovered(r.path)) ++localized;
+    }
+  }
+  std::printf("reports verified: %llu, failed: %zu, real path recovered: %zu\n",
+              static_cast<unsigned long long>(server.reports_verified()),
+              failures, localized);
+
+  if (failures == 0) {
+    std::printf("fault not exercised by the ping matrix (try another --seed)\n");
+    return 1;
+  }
+  if (do_repair && first) {
+    RepairEngine repair(c, net);
+    for (const RepairReport& r : repair.repair_from(*first))
+      std::printf("repaired %s: +%zu rules, -%zu foreign, %zu ACLs%s\n",
+                  topo.name(r.sw).c_str(), r.reinstalled, r.removed,
+                  r.acls_restored,
+                  r.priority_mode_fixed ? ", priority mode reset" : "");
+    std::size_t after = 0;
+    for (const auto& f : workload::ping_all(topo)) {
+      const auto r = net.inject(f.header, f.entry);
+      for (const TagReport& rep : r.reports)
+        if (!server.verify(rep).ok()) ++after;
+    }
+    std::printf("failures after repair: %zu\n", after);
+    return after == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  auto topo = make_topo(argv[2]);
+  if (!topo) return usage();
+
+  if (cmd == "topo") return cmd_topo(*topo);
+  if (cmd == "pathtable") {
+    const char* n = flag_value(argc, argv, "--rules");
+    return cmd_pathtable(std::move(*topo),
+                         n ? static_cast<std::size_t>(std::atoll(n)) : 0);
+  }
+  if (cmd == "monitor") {
+    const char* kind = flag_value(argc, argv, "--fault");
+    if (!kind) return usage();
+    const char* seed = flag_value(argc, argv, "--seed");
+    return cmd_monitor(std::move(*topo), kind,
+                       seed ? static_cast<std::uint64_t>(std::atoll(seed)) : 7,
+                       has_flag(argc, argv, "--repair"));
+  }
+  return usage();
+}
