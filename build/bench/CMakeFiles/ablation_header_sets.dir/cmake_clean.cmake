@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_header_sets.dir/ablation_header_sets.cc.o"
+  "CMakeFiles/ablation_header_sets.dir/ablation_header_sets.cc.o.d"
+  "ablation_header_sets"
+  "ablation_header_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_header_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_verify.dir/ablation_parallel_verify.cc.o"
+  "CMakeFiles/ablation_parallel_verify.dir/ablation_parallel_verify.cc.o.d"
+  "ablation_parallel_verify"
+  "ablation_parallel_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_tagging.cc" "bench/CMakeFiles/ablation_tagging.dir/ablation_tagging.cc.o" "gcc" "bench/CMakeFiles/ablation_tagging.dir/ablation_tagging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veridp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_header.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagging.dir/ablation_tagging.cc.o"
+  "CMakeFiles/ablation_tagging.dir/ablation_tagging.cc.o.d"
+  "ablation_tagging"
+  "ablation_tagging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

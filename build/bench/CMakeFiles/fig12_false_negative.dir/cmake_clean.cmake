@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_false_negative.dir/fig12_false_negative.cc.o"
+  "CMakeFiles/fig12_false_negative.dir/fig12_false_negative.cc.o.d"
+  "fig12_false_negative"
+  "fig12_false_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_false_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

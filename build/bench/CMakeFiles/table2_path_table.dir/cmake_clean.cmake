@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_path_table.dir/table2_path_table.cc.o"
+  "CMakeFiles/table2_path_table.dir/table2_path_table.cc.o.d"
+  "table2_path_table"
+  "table2_path_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_path_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

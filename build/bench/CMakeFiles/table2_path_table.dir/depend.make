@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_path_table.
+# This may be replaced when dependencies are built.

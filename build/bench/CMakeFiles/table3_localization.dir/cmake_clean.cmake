@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_localization.dir/table3_localization.cc.o"
+  "CMakeFiles/table3_localization.dir/table3_localization.cc.o.d"
+  "table3_localization"
+  "table3_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_repair.dir/auto_repair.cpp.o"
+  "CMakeFiles/auto_repair.dir/auto_repair.cpp.o.d"
+  "auto_repair"
+  "auto_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_localization_demo.dir/fault_localization_demo.cpp.o"
+  "CMakeFiles/fault_localization_demo.dir/fault_localization_demo.cpp.o.d"
+  "fault_localization_demo"
+  "fault_localization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_localization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

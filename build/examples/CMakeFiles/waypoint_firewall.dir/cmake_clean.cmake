@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waypoint_firewall.dir/waypoint_firewall.cpp.o"
+  "CMakeFiles/waypoint_firewall.dir/waypoint_firewall.cpp.o.d"
+  "waypoint_firewall"
+  "waypoint_firewall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waypoint_firewall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

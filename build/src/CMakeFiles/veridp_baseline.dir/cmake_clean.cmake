@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_baseline.dir/baseline/atpg.cc.o"
+  "CMakeFiles/veridp_baseline.dir/baseline/atpg.cc.o.d"
+  "CMakeFiles/veridp_baseline.dir/baseline/monocle.cc.o"
+  "CMakeFiles/veridp_baseline.dir/baseline/monocle.cc.o.d"
+  "libveridp_baseline.a"
+  "libveridp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

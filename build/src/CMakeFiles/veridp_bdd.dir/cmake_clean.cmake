@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_bdd.dir/bdd/bdd.cc.o"
+  "CMakeFiles/veridp_bdd.dir/bdd/bdd.cc.o.d"
+  "libveridp_bdd.a"
+  "libveridp_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_bloom.dir/bloom/bloom.cc.o"
+  "CMakeFiles/veridp_bloom.dir/bloom/bloom.cc.o.d"
+  "libveridp_bloom.a"
+  "libveridp_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveridp_bloom.a"
+)

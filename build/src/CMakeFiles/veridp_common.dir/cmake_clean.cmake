@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_common.dir/common/ip.cc.o"
+  "CMakeFiles/veridp_common.dir/common/ip.cc.o.d"
+  "CMakeFiles/veridp_common.dir/common/murmur3.cc.o"
+  "CMakeFiles/veridp_common.dir/common/murmur3.cc.o.d"
+  "libveridp_common.a"
+  "libveridp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

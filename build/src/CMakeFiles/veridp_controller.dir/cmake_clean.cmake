@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_controller.dir/controller/controller.cc.o"
+  "CMakeFiles/veridp_controller.dir/controller/controller.cc.o.d"
+  "CMakeFiles/veridp_controller.dir/controller/policy.cc.o"
+  "CMakeFiles/veridp_controller.dir/controller/policy.cc.o.d"
+  "CMakeFiles/veridp_controller.dir/controller/routing.cc.o"
+  "CMakeFiles/veridp_controller.dir/controller/routing.cc.o.d"
+  "libveridp_controller.a"
+  "libveridp_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/veridp/incremental.cc" "src/CMakeFiles/veridp_core.dir/veridp/incremental.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/incremental.cc.o.d"
+  "/root/repo/src/veridp/localizer.cc" "src/CMakeFiles/veridp_core.dir/veridp/localizer.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/localizer.cc.o.d"
+  "/root/repo/src/veridp/path_builder.cc" "src/CMakeFiles/veridp_core.dir/veridp/path_builder.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/path_builder.cc.o.d"
+  "/root/repo/src/veridp/path_table.cc" "src/CMakeFiles/veridp_core.dir/veridp/path_table.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/path_table.cc.o.d"
+  "/root/repo/src/veridp/repair.cc" "src/CMakeFiles/veridp_core.dir/veridp/repair.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/repair.cc.o.d"
+  "/root/repo/src/veridp/rule_tree.cc" "src/CMakeFiles/veridp_core.dir/veridp/rule_tree.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/rule_tree.cc.o.d"
+  "/root/repo/src/veridp/server.cc" "src/CMakeFiles/veridp_core.dir/veridp/server.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/server.cc.o.d"
+  "/root/repo/src/veridp/verifier.cc" "src/CMakeFiles/veridp_core.dir/veridp/verifier.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/verifier.cc.o.d"
+  "/root/repo/src/veridp/workload.cc" "src/CMakeFiles/veridp_core.dir/veridp/workload.cc.o" "gcc" "src/CMakeFiles/veridp_core.dir/veridp/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veridp_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_header.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_core.dir/veridp/incremental.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/incremental.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/localizer.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/localizer.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/path_builder.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/path_builder.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/path_table.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/path_table.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/repair.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/repair.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/rule_tree.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/rule_tree.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/server.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/server.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/verifier.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/verifier.cc.o.d"
+  "CMakeFiles/veridp_core.dir/veridp/workload.cc.o"
+  "CMakeFiles/veridp_core.dir/veridp/workload.cc.o.d"
+  "libveridp_core.a"
+  "libveridp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

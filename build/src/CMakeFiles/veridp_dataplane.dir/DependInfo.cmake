@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataplane/fault.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/fault.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/fault.cc.o.d"
+  "/root/repo/src/dataplane/network.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/network.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/network.cc.o.d"
+  "/root/repo/src/dataplane/pipeline.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/pipeline.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/pipeline.cc.o.d"
+  "/root/repo/src/dataplane/sampler.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/sampler.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/sampler.cc.o.d"
+  "/root/repo/src/dataplane/switch.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/switch.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/switch.cc.o.d"
+  "/root/repo/src/dataplane/wire.cc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/wire.cc.o" "gcc" "src/CMakeFiles/veridp_dataplane.dir/dataplane/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veridp_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_header.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

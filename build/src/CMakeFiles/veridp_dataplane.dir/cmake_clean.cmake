@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_dataplane.dir/dataplane/fault.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/fault.cc.o.d"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/network.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/network.cc.o.d"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/pipeline.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/pipeline.cc.o.d"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/sampler.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/sampler.cc.o.d"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/switch.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/switch.cc.o.d"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/wire.cc.o"
+  "CMakeFiles/veridp_dataplane.dir/dataplane/wire.cc.o.d"
+  "libveridp_dataplane.a"
+  "libveridp_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/acl.cc" "src/CMakeFiles/veridp_flow.dir/flow/acl.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/acl.cc.o.d"
+  "/root/repo/src/flow/flow_table.cc" "src/CMakeFiles/veridp_flow.dir/flow/flow_table.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/flow_table.cc.o.d"
+  "/root/repo/src/flow/match.cc" "src/CMakeFiles/veridp_flow.dir/flow/match.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/match.cc.o.d"
+  "/root/repo/src/flow/rule.cc" "src/CMakeFiles/veridp_flow.dir/flow/rule.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/rule.cc.o.d"
+  "/root/repo/src/flow/transfer.cc" "src/CMakeFiles/veridp_flow.dir/flow/transfer.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/transfer.cc.o.d"
+  "/root/repo/src/flow/walk.cc" "src/CMakeFiles/veridp_flow.dir/flow/walk.cc.o" "gcc" "src/CMakeFiles/veridp_flow.dir/flow/walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veridp_header.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

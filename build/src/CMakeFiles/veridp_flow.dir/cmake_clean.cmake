@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_flow.dir/flow/acl.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/acl.cc.o.d"
+  "CMakeFiles/veridp_flow.dir/flow/flow_table.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/flow_table.cc.o.d"
+  "CMakeFiles/veridp_flow.dir/flow/match.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/match.cc.o.d"
+  "CMakeFiles/veridp_flow.dir/flow/rule.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/rule.cc.o.d"
+  "CMakeFiles/veridp_flow.dir/flow/transfer.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/transfer.cc.o.d"
+  "CMakeFiles/veridp_flow.dir/flow/walk.cc.o"
+  "CMakeFiles/veridp_flow.dir/flow/walk.cc.o.d"
+  "libveridp_flow.a"
+  "libveridp_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

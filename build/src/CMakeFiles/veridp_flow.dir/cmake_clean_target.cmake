@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libveridp_flow.a"
+)

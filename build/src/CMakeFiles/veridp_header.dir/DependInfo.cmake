@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/header/header_set.cc" "src/CMakeFiles/veridp_header.dir/header/header_set.cc.o" "gcc" "src/CMakeFiles/veridp_header.dir/header/header_set.cc.o.d"
+  "/root/repo/src/header/packet_header.cc" "src/CMakeFiles/veridp_header.dir/header/packet_header.cc.o" "gcc" "src/CMakeFiles/veridp_header.dir/header/packet_header.cc.o.d"
+  "/root/repo/src/header/wildcard.cc" "src/CMakeFiles/veridp_header.dir/header/wildcard.cc.o" "gcc" "src/CMakeFiles/veridp_header.dir/header/wildcard.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/veridp_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/veridp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_header.dir/header/header_set.cc.o"
+  "CMakeFiles/veridp_header.dir/header/header_set.cc.o.d"
+  "CMakeFiles/veridp_header.dir/header/packet_header.cc.o"
+  "CMakeFiles/veridp_header.dir/header/packet_header.cc.o.d"
+  "CMakeFiles/veridp_header.dir/header/wildcard.cc.o"
+  "CMakeFiles/veridp_header.dir/header/wildcard.cc.o.d"
+  "libveridp_header.a"
+  "libveridp_header.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_header.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

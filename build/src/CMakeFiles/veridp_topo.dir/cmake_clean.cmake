@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_topo.dir/topo/backbone.cc.o"
+  "CMakeFiles/veridp_topo.dir/topo/backbone.cc.o.d"
+  "CMakeFiles/veridp_topo.dir/topo/fat_tree.cc.o"
+  "CMakeFiles/veridp_topo.dir/topo/fat_tree.cc.o.d"
+  "CMakeFiles/veridp_topo.dir/topo/simple_topos.cc.o"
+  "CMakeFiles/veridp_topo.dir/topo/simple_topos.cc.o.d"
+  "CMakeFiles/veridp_topo.dir/topo/topology.cc.o"
+  "CMakeFiles/veridp_topo.dir/topo/topology.cc.o.d"
+  "libveridp_topo.a"
+  "libveridp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

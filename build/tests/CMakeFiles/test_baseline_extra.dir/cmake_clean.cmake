@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_extra.dir/test_baseline_extra.cc.o"
+  "CMakeFiles/test_baseline_extra.dir/test_baseline_extra.cc.o.d"
+  "test_baseline_extra"
+  "test_baseline_extra.pdb"
+  "test_baseline_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

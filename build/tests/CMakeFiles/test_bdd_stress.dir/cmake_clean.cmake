@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bdd_stress.dir/test_bdd_stress.cc.o"
+  "CMakeFiles/test_bdd_stress.dir/test_bdd_stress.cc.o.d"
+  "test_bdd_stress"
+  "test_bdd_stress.pdb"
+  "test_bdd_stress[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bdd_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_header_set.dir/test_header_set.cc.o"
+  "CMakeFiles/test_header_set.dir/test_header_set.cc.o.d"
+  "test_header_set"
+  "test_header_set.pdb"
+  "test_header_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_header_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

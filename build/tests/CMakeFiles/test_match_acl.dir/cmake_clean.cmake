@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_match_acl.dir/test_match_acl.cc.o"
+  "CMakeFiles/test_match_acl.dir/test_match_acl.cc.o.d"
+  "test_match_acl"
+  "test_match_acl.pdb"
+  "test_match_acl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_match_acl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_murmur3.dir/test_murmur3.cc.o"
+  "CMakeFiles/test_murmur3.dir/test_murmur3.cc.o.d"
+  "test_murmur3"
+  "test_murmur3.pdb"
+  "test_murmur3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_murmur3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_murmur3.
+# This may be replaced when dependencies are built.

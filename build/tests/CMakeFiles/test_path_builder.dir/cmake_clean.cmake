@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_builder.dir/test_path_builder.cc.o"
+  "CMakeFiles/test_path_builder.dir/test_path_builder.cc.o.d"
+  "test_path_builder"
+  "test_path_builder.pdb"
+  "test_path_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_table.dir/test_path_table.cc.o"
+  "CMakeFiles/test_path_table.dir/test_path_table.cc.o.d"
+  "test_path_table"
+  "test_path_table.pdb"
+  "test_path_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_tree.dir/test_rule_tree.cc.o"
+  "CMakeFiles/test_rule_tree.dir/test_rule_tree.cc.o.d"
+  "test_rule_tree"
+  "test_rule_tree.pdb"
+  "test_rule_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

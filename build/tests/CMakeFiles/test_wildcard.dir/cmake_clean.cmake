@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wildcard.dir/test_wildcard.cc.o"
+  "CMakeFiles/test_wildcard.dir/test_wildcard.cc.o.d"
+  "test_wildcard"
+  "test_wildcard.pdb"
+  "test_wildcard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wildcard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/veridp_cli.dir/veridp_cli.cc.o"
+  "CMakeFiles/veridp_cli.dir/veridp_cli.cc.o.d"
+  "veridp_cli"
+  "veridp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/veridp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

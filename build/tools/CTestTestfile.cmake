@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_topo_toy "/root/repo/build/tools/veridp_cli" "topo" "toy")
+set_tests_properties(cli_topo_toy PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pathtable_linear "/root/repo/build/tools/veridp_cli" "pathtable" "linear")
+set_tests_properties(cli_pathtable_linear PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_monitor_blackhole "/root/repo/build/tools/veridp_cli" "monitor" "fat4" "--fault" "blackhole" "--seed" "3" "--repair")
+set_tests_properties(cli_monitor_blackhole PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_monitor_rewire "/root/repo/build/tools/veridp_cli" "monitor" "fat4" "--fault" "rewire" "--seed" "3" "--repair")
+set_tests_properties(cli_monitor_rewire PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/veridp_cli" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
