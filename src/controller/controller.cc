@@ -12,6 +12,7 @@ RuleId Controller::add_rule(SwitchId sw, std::int32_t priority,
   assert(sw < configs_.size());
   const FlowRule rule{next_id_++, priority, match, action};
   configs_[static_cast<std::size_t>(sw)].table.add(rule);
+  ++epoch_;
   publish({RuleEvent::Kind::kAdd, sw, rule});
   return rule.id;
 }
@@ -19,7 +20,10 @@ RuleId Controller::add_rule(SwitchId sw, std::int32_t priority,
 std::optional<FlowRule> Controller::delete_rule(SwitchId sw, RuleId id) {
   assert(sw < configs_.size());
   auto removed = configs_[static_cast<std::size_t>(sw)].table.remove(id);
-  if (removed) publish({RuleEvent::Kind::kDelete, sw, *removed});
+  if (removed) {
+    ++epoch_;
+    publish({RuleEvent::Kind::kDelete, sw, *removed});
+  }
   return removed;
 }
 

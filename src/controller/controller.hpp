@@ -89,6 +89,12 @@ class Controller {
     listeners_.push_back(std::move(listener));
   }
 
+  /// The config epoch: bumped on every rule event, before it is
+  /// published, so subscribers observe the post-event epoch. Switches
+  /// learn it via Network::set_config_epoch and stamp it into sampled
+  /// packets; the server uses it to pick the right path-table snapshot.
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
   /// Pushes the complete logical state into the network's switches
   /// through `channel` (reliable by default). Physical tables are
   /// cleared first. Returns the number of rules actually installed.
@@ -104,6 +110,7 @@ class Controller {
   std::vector<SwitchConfig> configs_;
   std::vector<std::function<void(const RuleEvent&)>> listeners_;
   RuleId next_id_ = 1;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace veridp

@@ -20,6 +20,21 @@ std::string FaultRecord::describe() const {
       return "S" + std::to_string(sw) + " ignores rule priorities";
     case FaultKind::kRemoveAclEntry:
       return "ACL entry removed at S" + std::to_string(sw);
+    case FaultKind::kReportDrop:
+      return "report seq " + std::to_string(rule) + " from S" +
+             std::to_string(sw) + " dropped in channel";
+    case FaultKind::kReportDuplicate:
+      return "report seq " + std::to_string(rule) + " from S" +
+             std::to_string(sw) + " duplicated in channel";
+    case FaultKind::kReportReorder:
+      return "report seq " + std::to_string(rule) + " from S" +
+             std::to_string(sw) + " reordered in channel";
+    case FaultKind::kReportDelay:
+      return "report seq " + std::to_string(rule) + " from S" +
+             std::to_string(sw) + " delayed in channel";
+    case FaultKind::kReportCorrupt:
+      return "report seq " + std::to_string(rule) + " from S" +
+             std::to_string(sw) + " corrupted in channel";
   }
   return "unknown fault";
 }

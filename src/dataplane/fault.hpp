@@ -33,13 +33,22 @@ enum class FaultKind {
   kExternalRule,
   kIgnorePriority,
   kRemoveAclEntry,
+  // Report-transport faults (veridp/channel.hpp): the §5 tag reports ride
+  // plain UDP, so the monitoring channel itself can lose, duplicate,
+  // reorder, delay, or corrupt them. These kinds never touch switch
+  // state; they perturb encoded report datagrams in flight.
+  kReportDrop,
+  kReportDuplicate,
+  kReportReorder,
+  kReportDelay,
+  kReportCorrupt,
 };
 
 struct FaultRecord {
   FaultKind kind;
-  SwitchId sw = kNoSwitch;
-  RuleId rule = kNoRule;
-  PortId new_port = kDropPort;  // for kRewriteOutput
+  SwitchId sw = kNoSwitch;        // report faults: the reporting switch
+  RuleId rule = kNoRule;          // report faults: the report's seq number
+  PortId new_port = kDropPort;    // for kRewriteOutput
   std::string describe() const;
 };
 

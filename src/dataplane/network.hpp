@@ -56,6 +56,26 @@ class Network {
     sink_ = std::move(sink);
   }
 
+  /// Pushes a new config epoch to every switch's VeriDP pipeline (the
+  /// controller's southbound epoch announcement). Packets sampled after
+  /// this call carry `e` in their tag reports.
+  void set_config_epoch(std::uint32_t e) {
+    for (Switch& s : switches_) s.pipeline().set_epoch(e);
+  }
+
+  /// Multiplies every entry switch's default sampling interval by
+  /// `factor` (the server's overload back-off signal, §4.5: a longer
+  /// T_s means fewer marked packets and fewer reports). An interval of
+  /// zero (sample everything) becomes `floor_interval` first so the
+  /// back-off has an effect.
+  void scale_sampling(double factor, double floor_interval = 1.0) {
+    for (Switch& s : switches_) {
+      FlowSampler& smp = s.pipeline().sampler();
+      const double cur = smp.default_interval();
+      smp.set_default_interval((cur > 0.0 ? cur : floor_interval) * factor);
+    }
+  }
+
   /// Injects a packet with header `h` at edge port `entry` at time `t`
   /// and forwards it to completion.
   ForwardResult inject(const PacketHeader& h, PortKey entry, double t = 0.0,

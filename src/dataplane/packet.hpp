@@ -34,16 +34,26 @@ struct Packet {
   BloomTag tag{BloomTag::kDefaultBits};
   int ttl = 0;
   PortKey entry{};  ///< entry port recorded at the entry switch
+  /// Config epoch the entry switch knew at sampling time. Carried with
+  /// the packet so the report is verified against the path table it was
+  /// sampled under, not the one current at report arrival.
+  std::uint32_t epoch = 0;
 };
 
 /// A tag report <inport, outport, header, tag> (§3.3), sent by exit
 /// switches (and by switches that drop a sampled packet or see TTL 0) to
-/// the VeriDP server over plain UDP in the prototype.
+/// the VeriDP server over plain UDP in the prototype. `epoch` and `seq`
+/// extend the paper's format for a lossy transport: `epoch` is the
+/// config epoch at sampling time and `seq` a per-reporting-switch
+/// sequence number (0 = unknown, e.g. decoded from a v1 payload) used
+/// for duplicate suppression and loss accounting.
 struct TagReport {
   PortKey inport;
   PortKey outport;
   PacketHeader header;
   BloomTag tag{BloomTag::kDefaultBits};
+  std::uint32_t epoch = 0;
+  std::uint32_t seq = 0;
 };
 
 }  // namespace veridp

@@ -27,6 +27,7 @@ std::optional<TagReport> VeriDpPipeline::process(Packet& p,
       p.tag = BloomTag(tag_bits_);
       p.ttl = kMaxPathLength;
       p.entry = PortKey{sw_, x};
+      p.epoch = epoch_;  // the config epoch the packet was sampled under
       ++sampled_;
     } else {
       p.marker = false;
@@ -43,7 +44,8 @@ std::optional<TagReport> VeriDpPipeline::process(Packet& p,
   // pop the shim here; we leave the fields in place for inspection.
   if (y_is_edge || y == kDropPort || p.ttl == 0) {
     ++reports_;
-    return TagReport{p.entry, PortKey{sw_, y}, p.header, p.tag};
+    return TagReport{p.entry, PortKey{sw_, y}, p.header, p.tag,
+                     p.epoch, next_seq_++};
   }
   return std::nullopt;
 }

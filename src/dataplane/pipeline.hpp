@@ -40,6 +40,12 @@ class VeriDpPipeline {
   [[nodiscard]] FlowSampler& sampler() { return sampler_; }
   [[nodiscard]] int tag_bits() const { return tag_bits_; }
 
+  /// The config epoch this switch currently knows (stamped into sampled
+  /// packets at entry; the report carries the sampling-time epoch even
+  /// if the config changes while the packet is in flight).
+  void set_epoch(std::uint32_t e) { epoch_ = e; }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+
   /// Statistics: how many packets this pipeline sampled / reported.
   [[nodiscard]] std::uint64_t sampled_count() const { return sampled_; }
   [[nodiscard]] std::uint64_t report_count() const { return reports_; }
@@ -48,6 +54,8 @@ class VeriDpPipeline {
   SwitchId sw_;
   int tag_bits_;
   FlowSampler sampler_;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t next_seq_ = 1;  // 0 is reserved for "no sequence number"
   std::uint64_t sampled_ = 0;
   std::uint64_t reports_ = 0;
 };

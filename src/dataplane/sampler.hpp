@@ -40,6 +40,13 @@ class FlowSampler {
     intervals_[flow] = interval;
   }
 
+  /// The default T_s applied to flows without an explicit interval.
+  /// Mutable at runtime: the server's overload back-off raises it to
+  /// thin the report stream (§4.5 trade-off: longer T_s, higher
+  /// detection latency, lower report rate).
+  [[nodiscard]] double default_interval() const { return default_interval_; }
+  void set_default_interval(double interval) { default_interval_ = interval; }
+
   /// Should the packet arriving at time `t` be marked? Updates t^f.
   bool sample(const PacketHeader& flow, double t);
 

@@ -111,6 +111,15 @@ std::optional<Packet> decode_frame(const std::vector<std::uint8_t>& b) {
   if ((b[ip] >> 4) != 4 || (b[ip] & 0x0F) != 5) return std::nullopt;
   if (internet_checksum(b.data() + ip, kIpv4Header) != 0)
     return std::nullopt;  // header corrupt
+  // Length-field validation: encode_frame always writes total length ==
+  // bytes from the IP header to the end of the frame, and the L4 length
+  // == bytes from the L4 header to the end. A frame whose buffer size
+  // disagrees was truncated in flight (or grew trailing garbage) — its
+  // checksummed header would still validate, so without this check it
+  // would silently decode with the wrong size.
+  if (get16(b, ip + 2) != b.size() - ip) return std::nullopt;
+  if (get16(b, ip + kIpv4Header + 4) != b.size() - ip - kIpv4Header)
+    return std::nullopt;
   const bool marker = (b[ip + 1] & kTosMarkerBit) != 0;
   if (marker != shim) return std::nullopt;  // marker without shim (or v.v.)
   p.marker = marker;
@@ -125,18 +134,25 @@ std::optional<Packet> decode_frame(const std::vector<std::uint8_t>& b) {
   return p;
 }
 
-std::vector<std::uint8_t> encode_report(const TagReport& r) {
+std::vector<std::uint8_t> encode_report(const TagReport& r, int version) {
   // Layout (network byte order):
-  //   0  magic 0xVD ('V'^'D' — see kReportMagic), version 1
+  //   0  magic 0x56 ('V' — see kReportMagic), version (1 or 2)
   //   2  tag bits (1B) | reserved (1B)
   //   4  inport: switch (4B), port (4B)
   //  12  outport: switch (4B), port (4B)
   //  20  tag value (8B)
   //  28  header: src(4) dst(4) proto(1) sport(2) dport(2)
-  //  41  total
-  std::vector<std::uint8_t> b(41, 0);
+  //  41  end of v1
+  //  41  config epoch (4B)                       -- v2 only
+  //  45  per-switch sequence number (4B)         -- v2 only
+  //  49  reserved (1B, keeps the checksum 16-bit aligned)
+  //  50  internet checksum over bytes [0, 52)    -- v2 only
+  //  52  end of v2
+  assert(version == 1 || version == 2);
+  std::vector<std::uint8_t> b(version == 1 ? kReportV1Size : kReportV2Size,
+                              0);
   b[0] = kReportMagic;
-  b[1] = 1;
+  b[1] = static_cast<std::uint8_t>(version);
   b[2] = static_cast<std::uint8_t>(r.tag.bits());
   put32(b, 4, r.inport.sw);
   put32(b, 8, r.inport.port);
@@ -149,12 +165,29 @@ std::vector<std::uint8_t> encode_report(const TagReport& r) {
   b[36] = r.header.proto;
   put16(b, 37, r.header.src_port);
   put16(b, 39, r.header.dst_port);
+  if (version == 2) {
+    put32(b, 41, r.epoch);
+    put32(b, 45, r.seq);
+    put16(b, 50, internet_checksum(b.data(), kReportV2Size));
+  }
   return b;
 }
 
 std::optional<TagReport> decode_report(const std::vector<std::uint8_t>& b) {
-  if (b.size() != 41 || b[0] != kReportMagic || b[1] != 1)
+  // Size is checked against the version byte before any other field is
+  // touched, so adversarial (truncated / inflated) payloads can never be
+  // read out of bounds.
+  if (b.size() < 2 || b[0] != kReportMagic) return std::nullopt;
+  const int version = b[1];
+  if (version == 1) {
+    if (b.size() != kReportV1Size) return std::nullopt;
+  } else if (version == 2) {
+    if (b.size() != kReportV2Size) return std::nullopt;
+    // RFC 1071: summing a buffer that embeds its own checksum yields 0.
+    if (internet_checksum(b.data(), kReportV2Size) != 0) return std::nullopt;
+  } else {
     return std::nullopt;
+  }
   const int bits = b[2];
   if (bits < 1 || bits > 64) return std::nullopt;
   TagReport r;
@@ -162,12 +195,18 @@ std::optional<TagReport> decode_report(const std::vector<std::uint8_t>& b) {
   r.outport = PortKey{get32(b, 12), get32(b, 16)};
   const std::uint64_t tag_value =
       (static_cast<std::uint64_t>(get32(b, 20)) << 32) | get32(b, 24);
+  if (bits < 64 && (tag_value >> bits) != 0)
+    return std::nullopt;  // bits outside the declared tag width
   r.tag = BloomTag::from_raw(tag_value, bits);
   r.header.src_ip = Ipv4{get32(b, 28)};
   r.header.dst_ip = Ipv4{get32(b, 32)};
   r.header.proto = b[36];
   r.header.src_port = get16(b, 37);
   r.header.dst_port = get16(b, 39);
+  if (version == 2) {
+    r.epoch = get32(b, 41);
+    r.seq = get32(b, 45);
+  }
   return r;
 }
 

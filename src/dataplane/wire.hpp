@@ -49,14 +49,28 @@ std::vector<std::uint8_t> encode_frame(const Packet& p,
 
 /// Parses a frame produced by encode_frame (or a hand-crafted one).
 /// Returns nullopt on malformed input: truncated headers, bad IPv4
-/// checksum, unknown ethertype, or a marker bit without the VLAN shim.
+/// checksum, unknown ethertype, a marker bit without the VLAN shim, or
+/// IPv4/L4 length fields inconsistent with the buffer (so truncated or
+/// padded captures are rejected instead of silently mis-sized).
 std::optional<Packet> decode_frame(const std::vector<std::uint8_t>& bytes);
 
-/// The fixed 41-byte UDP payload of a tag report
-/// <inport, outport, header, tag> (§3.3).
-std::vector<std::uint8_t> encode_report(const TagReport& r);
+/// Report payload sizes: v1 is the original fixed 41-byte layout
+/// <inport, outport, header, tag> (§3.3); v2 appends the 4-byte config
+/// epoch, a 4-byte per-switch sequence number, and a 2-byte internet
+/// checksum over the whole payload (UDP gives no integrity on its own;
+/// the checksum quarantines bit-flipped reports instead of letting them
+/// mis-verify).
+inline constexpr std::size_t kReportV1Size = 41;
+inline constexpr std::size_t kReportV2Size = 52;
 
-/// Parses a report payload; nullopt on bad magic/length.
+/// Encodes a tag report. Version 2 (default) carries epoch/seq and is
+/// checksummed; version 1 reproduces the legacy 41-byte layout (epoch
+/// and seq are dropped).
+std::vector<std::uint8_t> encode_report(const TagReport& r, int version = 2);
+
+/// Parses a report payload of either version; nullopt on bad magic,
+/// version/length mismatch, out-of-range tag width, or (v2) checksum
+/// failure. v1 payloads decode with epoch = 0, seq = 0.
 std::optional<TagReport> decode_report(const std::vector<std::uint8_t>& b);
 
 /// RFC 1071 Internet checksum over `data` (used for the IPv4 header).

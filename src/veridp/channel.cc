@@ -1,0 +1,89 @@
+#include "veridp/channel.hpp"
+
+#include <algorithm>
+
+#include "dataplane/wire.hpp"
+
+namespace veridp {
+
+ReportChannel::ReportChannel(ChannelConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+void ReportChannel::record(FaultKind kind, SwitchId src, std::uint32_t seq) {
+  if (history_.size() >= cfg_.history_limit) return;
+  history_.push_back({kind, src, static_cast<RuleId>(seq), kDropPort});
+}
+
+void ReportChannel::age_held() {
+  // Each send pushes the held-back datagrams one slot closer to release;
+  // a datagram released here lands *behind* everything already ready —
+  // that is the reordering.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (--it->remaining <= 0) {
+      ready_.push_back(std::move(it->bytes));
+      it = held_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReportChannel::send(const TagReport& r) {
+  send_bytes(wire::encode_report(r), r.outport.sw, r.seq);
+}
+
+void ReportChannel::send_bytes(std::vector<std::uint8_t> bytes, SwitchId src,
+                               std::uint32_t seq) {
+  ++stats_.sent;
+  age_held();
+
+  if (rng_.chance(cfg_.drop_rate)) {
+    ++stats_.dropped;
+    record(FaultKind::kReportDrop, src, seq);
+    return;
+  }
+
+  if (!bytes.empty() && rng_.chance(cfg_.corrupt_rate)) {
+    const std::size_t bit = rng_.index(bytes.size() * 8);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++stats_.corrupted;
+    record(FaultKind::kReportCorrupt, src, seq);
+  }
+
+  const bool dup = rng_.chance(cfg_.dup_rate);
+  if (dup) {
+    ++stats_.duplicated;
+    record(FaultKind::kReportDuplicate, src, seq);
+  }
+
+  const int max_hold = std::max(cfg_.max_reorder, 1);
+  if (rng_.chance(cfg_.reorder_rate)) {
+    ++stats_.reordered;
+    record(FaultKind::kReportReorder, src, seq);
+    held_.push_back({bytes, 1 + static_cast<int>(rng_.index(
+                                static_cast<std::size_t>(max_hold)))});
+  } else if (rng_.chance(cfg_.delay_rate)) {
+    ++stats_.delayed;
+    record(FaultKind::kReportDelay, src, seq);
+    held_.push_back({bytes, max_hold + 1 + static_cast<int>(rng_.index(
+                                static_cast<std::size_t>(max_hold)))});
+  } else {
+    ready_.push_back(bytes);
+  }
+  if (dup) ready_.push_back(std::move(bytes));
+}
+
+std::optional<std::vector<std::uint8_t>> ReportChannel::deliver() {
+  if (ready_.empty()) return std::nullopt;
+  auto out = std::move(ready_.front());
+  ready_.pop_front();
+  ++stats_.delivered;
+  return out;
+}
+
+void ReportChannel::flush() {
+  for (Held& h : held_) ready_.push_back(std::move(h.bytes));
+  held_.clear();
+}
+
+}  // namespace veridp

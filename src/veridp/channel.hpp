@@ -1,0 +1,102 @@
+// Simulated UDP report channel (§5: "Tag reports ... are encapsulated
+// with plain UDP packets").
+//
+// The paper's prototype trusts an implicitly perfect report path from the
+// switches to the VeriDP server. This channel makes that path explicit
+// and adversarial: it carries the *encoded* report datagrams (the bytes
+// wire::encode_report produces, exactly what would ride UDP) and injects
+// seeded, reproducible transport faults:
+//
+//   * drop      — datagram lost (FaultKind::kReportDrop)
+//   * duplicate — delivered twice (kReportDuplicate)
+//   * reorder   — held back a few datagrams, delivered late (kReportReorder)
+//   * delay     — held back a longer window (kReportDelay)
+//   * corrupt   — a bit flipped in flight (kReportCorrupt); the v2 payload
+//                 checksum lets the ingest quarantine these
+//
+// Every injected fault is counted and recorded as a FaultRecord so chaos
+// experiments can score the ingest pipeline against ground truth, the
+// same way FaultInjector scores switch-fault detection (Table 3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dataplane/fault.hpp"
+#include "dataplane/packet.hpp"
+
+namespace veridp {
+
+struct ChannelConfig {
+  double drop_rate = 0.0;       ///< P(datagram lost)
+  double dup_rate = 0.0;        ///< P(datagram delivered twice)
+  double reorder_rate = 0.0;    ///< P(held back 1..max_reorder datagrams)
+  double delay_rate = 0.0;      ///< P(held back max_reorder..2*max_reorder)
+  double corrupt_rate = 0.0;    ///< P(one bit flipped)
+  int max_reorder = 4;          ///< max hold-back distance, in datagrams
+  std::uint64_t seed = 0x5eedULL;
+  std::size_t history_limit = 512;  ///< cap on recorded FaultRecords
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;        ///< datagrams handed to the channel
+  std::uint64_t delivered = 0;   ///< datagrams handed out by deliver()
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t corrupted = 0;
+};
+
+class ReportChannel {
+ public:
+  explicit ReportChannel(ChannelConfig cfg = {});
+
+  /// Encodes `r` (wire v2) and sends the datagram through the channel.
+  void send(const TagReport& r);
+
+  /// Sends pre-encoded bytes. `src`/`seq` annotate fault records only;
+  /// the channel never interprets the payload.
+  void send_bytes(std::vector<std::uint8_t> bytes, SwitchId src = kNoSwitch,
+                  std::uint32_t seq = 0);
+
+  /// Pops the next deliverable datagram, or nullopt if none is ready.
+  /// Held-back (reordered/delayed) datagrams become ready as later sends
+  /// push past them, or when flush() is called.
+  std::optional<std::vector<std::uint8_t>> deliver();
+
+  /// Releases every held-back datagram into the ready queue (end of an
+  /// experiment; in a real deployment, time passing).
+  void flush();
+
+  /// Datagrams still inside the channel (ready + held back).
+  [[nodiscard]] std::size_t pending() const {
+    return ready_.size() + held_.size();
+  }
+
+  [[nodiscard]] const ChannelStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<FaultRecord>& history() const {
+    return history_;
+  }
+
+ private:
+  struct Held {
+    std::vector<std::uint8_t> bytes;
+    int remaining;  ///< sends left before release
+  };
+
+  void record(FaultKind kind, SwitchId src, std::uint32_t seq);
+  void age_held();
+
+  ChannelConfig cfg_;
+  Rng rng_;
+  ChannelStats stats_;
+  std::deque<std::vector<std::uint8_t>> ready_;
+  std::vector<Held> held_;
+  std::vector<FaultRecord> history_;
+};
+
+}  // namespace veridp

@@ -1,0 +1,141 @@
+#include "veridp/ingest.hpp"
+
+#include "dataplane/wire.hpp"
+
+namespace veridp {
+
+ReportIngest::ReportIngest(Server& server, IngestConfig cfg)
+    : server_(&server), cfg_(cfg) {
+  if (cfg_.high_watermark > cfg_.capacity) cfg_.high_watermark = cfg_.capacity;
+  if (cfg_.shed_modulus == 0) cfg_.shed_modulus = 1;
+}
+
+bool ReportIngest::note_sequence(SwitchId sw, std::uint32_t seq) {
+  SeqState& st = seq_state_[sw];
+  if (!st.seen.insert(seq).second) return false;
+  st.order.push_back(seq);
+  if (st.order.size() > cfg_.dedup_window) {
+    st.seen.erase(st.order.front());
+    st.order.pop_front();
+  }
+  if (st.unique == 0) {
+    st.min_seq = st.max_seq = seq;
+  } else {
+    if (seq < st.min_seq) st.min_seq = seq;
+    if (seq > st.max_seq) st.max_seq = seq;
+  }
+  ++st.unique;
+  return true;
+}
+
+void ReportIngest::maybe_signal_backoff() {
+  if (backoff_done_ || !backoff_sink_) return;
+  if (health_.received < backoff_next_at_) return;  // retry gate not reached
+  ++health_.backoff_signals;
+  if (backoff_sink_(cfg_.backoff_factor)) {
+    ++health_.backoff_acked;
+    backoff_done_ = true;
+    return;
+  }
+  // Signal lost in the southbound: retry after exponentially more
+  // received datagrams (1, 2, 4, ... — "time" here is report arrivals).
+  ++backoff_retries_;
+  if (backoff_retries_ > cfg_.backoff_max_retries) {
+    backoff_done_ = true;  // give up; shedding still bounds the queue
+    return;
+  }
+  backoff_next_at_ = health_.received + (1ull << backoff_retries_);
+}
+
+bool ReportIngest::offer(const std::vector<std::uint8_t>& datagram) {
+  ++health_.received;
+  auto report = wire::decode_report(datagram);
+  if (!report) {
+    ++health_.quarantined;
+    quarantine_.push_back(datagram);
+    if (quarantine_.size() > cfg_.quarantine_keep) quarantine_.pop_front();
+    return false;
+  }
+
+  if (report->seq != 0 &&
+      !note_sequence(report->outport.sw, report->seq)) {
+    ++health_.deduped;
+    return false;
+  }
+
+  if (queue_.size() >= cfg_.capacity) {
+    ++health_.shed;
+    maybe_signal_backoff();
+    return false;
+  }
+  if (queue_.size() >= cfg_.high_watermark) {
+    maybe_signal_backoff();
+    // Deterministic sample: the kept subset depends only on sequence
+    // numbers, so a rerun with the same seed sheds the same reports.
+    if (report->seq % cfg_.shed_modulus != 0) {
+      ++health_.shed;
+      return false;
+    }
+  }
+  queue_.push_back(*report);
+  return true;
+}
+
+bool ReportIngest::offer_report(const TagReport& report) {
+  ++health_.received;
+  if (report.seq != 0 && !note_sequence(report.outport.sw, report.seq)) {
+    ++health_.deduped;
+    return false;
+  }
+  if (queue_.size() >= cfg_.capacity) {
+    ++health_.shed;
+    maybe_signal_backoff();
+    return false;
+  }
+  if (queue_.size() >= cfg_.high_watermark) {
+    maybe_signal_backoff();
+    if (report.seq % cfg_.shed_modulus != 0) {
+      ++health_.shed;
+      return false;
+    }
+  }
+  queue_.push_back(report);
+  return true;
+}
+
+std::size_t ReportIngest::process(std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && !queue_.empty()) {
+    const TagReport report = queue_.front();
+    queue_.pop_front();
+    const Verdict v = server_->verify(report);
+    if (v.ok()) {
+      ++health_.passed;
+    } else if (v.status == VerifyStatus::kStaleEpoch) {
+      ++health_.stale;
+    } else {
+      ++health_.failed;
+      failures_.push_back(report);
+      if (failures_.size() > cfg_.failure_keep) failures_.pop_front();
+    }
+    ++n;
+  }
+  return n;
+}
+
+IngestHealth ReportIngest::health() const {
+  IngestHealth h = health_;
+  h.lost_estimate = 0;
+  // Sequence numbers start at 1 per switch, so the span [min, max] of
+  // observed seqs minus the unique count is a lower bound on channel
+  // loss (tail losses after max are invisible; corrupted datagrams
+  // surface here too since their seq never arrives intact).
+  for (const auto& [sw, st] : seq_state_) {
+    if (st.unique == 0) continue;
+    const std::uint64_t span = st.max_seq - st.min_seq + 1ull;
+    if (span > st.unique) h.lost_estimate += span - st.unique;
+  }
+  return h;
+}
+
+}  // namespace veridp

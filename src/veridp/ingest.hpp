@@ -1,0 +1,142 @@
+// Report ingest: the bounded front door between the (lossy, adversarial)
+// report channel and the verifier.
+//
+// The paper's server consumes tag reports as fast as switches emit them;
+// under heavy traffic that is exactly the overload path. This stage makes
+// the server degrade gracefully instead of silently mis-verifying or
+// growing without bound:
+//
+//   * decode quarantine — datagrams that fail wire::decode_report
+//     (truncated, bit-flipped, foreign) are counted and set aside, never
+//     interpreted;
+//   * duplicate suppression — the v2 per-switch sequence numbers identify
+//     retransmitted/duplicated datagrams; duplicates are dropped before
+//     they can double-count a verification;
+//   * loss accounting — gaps in the per-switch sequence space estimate
+//     how many reports the channel lost;
+//   * load shedding — a bounded queue with a high watermark: above it the
+//     ingest verifies only a deterministic sample (seq % shed_modulus ==
+//     0, reproducible run-to-run) and signals switches to back off their
+//     sampling interval, retrying the signal with exponential spacing if
+//     it is lost (it rides the same unreliable fabric as everything
+//     else).
+//
+// Every received datagram lands in exactly one bucket:
+//   passed + failed + stale + shed + quarantined + deduped + in-queue
+//     == received
+// which the overload tests assert — graceful degradation must account
+// for what it degraded.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "veridp/server.hpp"
+
+namespace veridp {
+
+struct IngestConfig {
+  std::size_t capacity = 1024;        ///< hard queue bound
+  std::size_t high_watermark = 768;   ///< shedding starts above this
+  std::uint32_t shed_modulus = 4;     ///< keep seq % modulus == 0 when shedding
+  std::size_t dedup_window = 4096;    ///< remembered seqs per switch
+  double backoff_factor = 2.0;        ///< sampling-interval multiplier
+  int backoff_max_retries = 6;        ///< signal retries before giving up
+  std::size_t quarantine_keep = 16;   ///< malformed payloads retained
+  std::size_t failure_keep = 32;      ///< failed reports retained
+};
+
+struct IngestHealth {
+  std::uint64_t received = 0;     ///< datagrams offered
+  std::uint64_t passed = 0;       ///< verified kOk
+  std::uint64_t failed = 0;       ///< verified kNoPath / kTagMismatch
+  std::uint64_t stale = 0;        ///< verified kStaleEpoch (inconclusive)
+  std::uint64_t shed = 0;         ///< dropped by load shedding
+  std::uint64_t quarantined = 0;  ///< failed decode
+  std::uint64_t deduped = 0;      ///< duplicate seq suppressed
+  std::uint64_t lost_estimate = 0;    ///< per-switch seq gaps
+  std::uint64_t backoff_signals = 0;  ///< back-off attempts sent
+  std::uint64_t backoff_acked = 0;    ///< attempts acknowledged
+
+  /// Everything that reached a terminal bucket. Equals `received` once
+  /// the queue is drained (the conservation law above).
+  [[nodiscard]] std::uint64_t accounted() const {
+    return passed + failed + stale + shed + quarantined + deduped;
+  }
+};
+
+class ReportIngest {
+ public:
+  /// The server must outlive the ingest.
+  explicit ReportIngest(Server& server, IngestConfig cfg = {});
+
+  /// Back-off transport: invoked with the sampling-interval factor when
+  /// the queue crosses the high watermark; returns true iff the signal
+  /// reached the switches (false models a lost southbound message and
+  /// triggers an exponentially spaced retry).
+  void set_backoff_sink(std::function<bool(double factor)> sink) {
+    backoff_sink_ = std::move(sink);
+  }
+
+  /// Offers one datagram (encoded report bytes) to the queue. Returns
+  /// true iff it was enqueued for verification (false: quarantined,
+  /// deduped, or shed — see health()).
+  bool offer(const std::vector<std::uint8_t>& datagram);
+
+  /// Decoded-report entry point for callers that bypass the wire (the
+  /// report still goes through dedup/shedding, not quarantine).
+  bool offer_report(const TagReport& report);
+
+  /// Verifies up to `max` queued reports. Returns how many it verified.
+  std::size_t process(std::size_t max = SIZE_MAX);
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool shedding() const {
+    return queue_.size() >= cfg_.high_watermark;
+  }
+  /// Health counters with the loss estimate refreshed.
+  [[nodiscard]] IngestHealth health() const;
+
+  /// Most recent malformed payloads (bounded by quarantine_keep).
+  [[nodiscard]] const std::deque<std::vector<std::uint8_t>>& quarantine()
+      const {
+    return quarantine_;
+  }
+  /// Most recent definitively failed reports (bounded by failure_keep) —
+  /// the inputs for localization.
+  [[nodiscard]] const std::deque<TagReport>& recent_failures() const {
+    return failures_;
+  }
+
+ private:
+  struct SeqState {
+    std::unordered_set<std::uint32_t> seen;
+    std::deque<std::uint32_t> order;  ///< eviction order for `seen`
+    std::uint32_t min_seq = 0;
+    std::uint32_t max_seq = 0;
+    std::uint64_t unique = 0;
+  };
+
+  /// Returns false if the report is a duplicate.
+  bool note_sequence(SwitchId sw, std::uint32_t seq);
+  void maybe_signal_backoff();
+
+  Server* server_;
+  IngestConfig cfg_;
+  IngestHealth health_;
+  std::deque<TagReport> queue_;
+  std::unordered_map<SwitchId, SeqState> seq_state_;
+  std::deque<std::vector<std::uint8_t>> quarantine_;
+  std::deque<TagReport> failures_;
+
+  std::function<bool(double)> backoff_sink_;
+  bool backoff_done_ = false;     ///< acked or out of retries
+  int backoff_retries_ = 0;
+  std::uint64_t backoff_next_at_ = 0;  ///< received-count gate for retry
+};
+
+}  // namespace veridp

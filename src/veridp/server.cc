@@ -12,12 +12,24 @@ Server::Server(Controller& controller, Mode mode, int tag_bits,
       [this](const RuleEvent& ev) { on_rule_event(ev); });
 }
 
+void Server::enable_epoch_checking(std::size_t snapshot_ring,
+                                   std::uint32_t grace_window) {
+  epoch_checking_ = true;
+  ring_capacity_ = snapshot_ring;
+  grace_window_ = grace_window;
+}
+
 void Server::on_rule_event(const RuleEvent& ev) {
+  epoch_ = controller_->epoch();  // events arrive post-bump
   if (!synced_) return;  // events before the first sync are folded into it
   if (mode_ == Mode::kIncremental) {
     updater_->apply(ev);
+    table_valid_from_ = epoch_;
   } else {
-    dirty_ = true;  // lazy rebuild before the next lookup
+    if (!dirty_) {
+      dirty_ = true;  // lazy rebuild before the next lookup
+      dirty_from_ = epoch_;
+    }
   }
 }
 
@@ -28,16 +40,28 @@ void Server::rebuild() {
     updater_->initialize(controller_->logical_configs());
     verifier_ = std::make_unique<Verifier>(updater_->table());
   } else {
+    // Retire the superseded table into the snapshot ring: reports sampled
+    // under epochs [table_valid_from_, dirty_from_ - 1] are still in
+    // flight and must be judged against it, and Verdict::matched pointers
+    // handed out against it stay valid until the snapshot ages out.
+    if (epoch_checking_ && synced_ && dirty_ &&
+        dirty_from_ > table_valid_from_) {
+      ring_.push_front(
+          {table_valid_from_, dirty_from_ - 1, std::move(full_table_)});
+      while (ring_.size() > ring_capacity_) ring_.pop_back();
+    }
     ConfigTransferProvider provider(space_, topo,
                                     controller_->logical_configs());
     PathTableBuilder builder(space_, topo, provider, tag_bits_);
     full_table_ = builder.build();
     verifier_ = std::make_unique<Verifier>(full_table_);
   }
+  table_valid_from_ = epoch_;
   dirty_ = false;
 }
 
 void Server::sync() {
+  epoch_ = controller_->epoch();
   rebuild();
   synced_ = true;
 }
@@ -47,16 +71,55 @@ void Server::ensure_fresh() {
   if (dirty_) rebuild();
 }
 
+const PathTable& Server::current_table() const {
+  return mode_ == Mode::kIncremental ? updater_->table() : full_table_;
+}
+
 const PathTable& Server::table() {
   ensure_fresh();
-  return mode_ == Mode::kIncremental ? updater_->table() : full_table_;
+  return current_table();
 }
 
 PathTableStats Server::stats() { return table().stats(); }
 
+const PathTable* Server::table_for_epoch(std::uint32_t e) const {
+  if (e >= table_valid_from_) return &current_table();
+  for (const Snapshot& s : ring_)
+    if (s.first_epoch <= e && e <= s.last_epoch) return &s.table;
+  return nullptr;
+}
+
 Verdict Server::verify(const TagReport& report) {
   ensure_fresh();
-  return verifier_->verify(report);
+  ++verified_;
+  if (!epoch_checking_) {
+    Verdict v = Verifier::check(report, current_table());
+    v.epoch = table_valid_from_;
+    if (v.ok()) ++passed_; else ++failed_;
+    return v;
+  }
+
+  if (const PathTable* tbl = table_for_epoch(report.epoch)) {
+    Verdict v = Verifier::check(report, *tbl);
+    if (v.ok()) ++passed_; else ++failed_;
+    return v;
+  }
+
+  // No table covers the report's epoch (kIncremental mode, a snapshot
+  // that aged out, or an epoch that fell between two lazy rebuilds).
+  // Within the grace window the report gets a chance against the current
+  // table — a pass is conclusive (the current config admits exactly this
+  // path), a failure is not (the path may have been correct under the
+  // sampling-time config), so it is classified stale, never failed.
+  if (epoch_ - report.epoch <= grace_window_) {
+    Verdict v = Verifier::check(report, current_table());
+    if (v.ok()) {
+      ++passed_;
+      return v;
+    }
+  }
+  ++stale_;
+  return Verdict{VerifyStatus::kStaleEpoch, nullptr, report.epoch};
 }
 
 LocalizeResult Server::localize(const TagReport& report) const {

@@ -10,8 +10,20 @@
 //  * kFullRebuild — arbitrary rules/ACLs; the table is rebuilt from the
 //    controller's logical configs on demand (rebuilds are batched: the
 //    table is marked dirty and rebuilt lazily before the next lookup).
+//
+// Epoch-aware verification (opt-in via enable_epoch_checking): every rule
+// event advances the config epoch; reports carry the epoch they were
+// sampled under. A report stamped with a past epoch is checked against
+// the path table that was current *then* — kFullRebuild keeps a small
+// ring of superseded table snapshots; kIncremental (whose table mutates
+// in place) applies a grace-window rule instead: a recent-epoch report
+// that fails against the current table is classified kStaleEpoch, not
+// failed. Either way, in-flight reports straddling a rule update can
+// never produce false positives. The ring also keeps Verdict::matched
+// pointers valid across lazy rebuilds until a snapshot ages out.
 #pragma once
 
+#include <deque>
 #include <memory>
 
 #include "controller/controller.hpp"
@@ -39,10 +51,15 @@ class Server {
   /// after the initial policy installation.
   void sync();
 
-  /// Verifies one tag report against the path table.
+  /// Verifies one tag report against the path table. With epoch
+  /// checking enabled the report's epoch stamp selects the table (see
+  /// the header comment); otherwise the current table is always used.
   Verdict verify(const TagReport& report);
 
-  /// Runs fault localization for a (failed) report.
+  /// Runs fault localization for a (failed) report. Localization uses
+  /// the controller's *current* logical config, so it is only
+  /// meaningful for current-epoch failures — kStaleEpoch verdicts
+  /// should not be localized.
   [[nodiscard]] LocalizeResult localize(const TagReport& report) const;
 
   [[nodiscard]] const PathTable& table();
@@ -50,21 +67,43 @@ class Server {
   [[nodiscard]] Mode mode() const { return mode_; }
   [[nodiscard]] int tag_bits() const { return tag_bits_; }
 
-  /// Counters forwarded from the verifier.
-  [[nodiscard]] std::uint64_t reports_verified() const {
-    return verifier_ ? verifier_->verified() : 0;
-  }
-  [[nodiscard]] std::uint64_t reports_passed() const {
-    return verifier_ ? verifier_->passed() : 0;
-  }
-  [[nodiscard]] std::uint64_t reports_failed() const {
-    return verifier_ ? verifier_->failed() : 0;
-  }
+  /// Turns on epoch-aware verification. `snapshot_ring` bounds how many
+  /// superseded tables kFullRebuild mode retains; `grace_window` is the
+  /// number of recent epochs whose reports may still be judged against
+  /// the current table when no snapshot covers them (kIncremental mode,
+  /// or epochs that fell between two lazy rebuilds).
+  void enable_epoch_checking(std::size_t snapshot_ring = 8,
+                             std::uint32_t grace_window = 64);
+  [[nodiscard]] bool epoch_checking() const { return epoch_checking_; }
+
+  /// The config epoch the server has observed (mirrors the controller).
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  /// Epoch the current table was built at; reports stamped >= this are
+  /// verified against the current table.
+  [[nodiscard]] std::uint32_t table_epoch() const { return table_valid_from_; }
+  /// Number of retained snapshots (kFullRebuild + epoch checking only).
+  [[nodiscard]] std::size_t snapshots() const { return ring_.size(); }
+
+  // Health counters. Every verify() lands in exactly one of passed /
+  // failed / stale.
+  [[nodiscard]] std::uint64_t reports_verified() const { return verified_; }
+  [[nodiscard]] std::uint64_t reports_passed() const { return passed_; }
+  [[nodiscard]] std::uint64_t reports_failed() const { return failed_; }
+  [[nodiscard]] std::uint64_t reports_stale() const { return stale_; }
 
  private:
+  struct Snapshot {
+    std::uint32_t first_epoch = 0;  ///< valid range, inclusive
+    std::uint32_t last_epoch = 0;
+    PathTable table;
+  };
+
   void on_rule_event(const RuleEvent& ev);
   void rebuild();
   void ensure_fresh();
+  [[nodiscard]] const PathTable& current_table() const;
+  /// The table for a report's epoch, or nullptr if none is retained.
+  [[nodiscard]] const PathTable* table_for_epoch(std::uint32_t e) const;
 
   Controller* controller_;
   Mode mode_;
@@ -75,6 +114,21 @@ class Server {
   std::unique_ptr<Verifier> verifier_;
   bool synced_ = false;
   bool dirty_ = false;
+
+  // Epoch state.
+  bool epoch_checking_ = false;
+  std::size_t ring_capacity_ = 8;
+  std::uint32_t grace_window_ = 64;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t table_valid_from_ = 0;
+  std::uint32_t dirty_from_ = 0;  ///< epoch of the first event since clean
+  std::deque<Snapshot> ring_;     ///< newest first
+
+  // Health counters.
+  std::uint64_t verified_ = 0;
+  std::uint64_t passed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t stale_ = 0;
 };
 
 }  // namespace veridp

@@ -2,10 +2,9 @@
 
 namespace veridp {
 
-Verdict Verifier::verify(const TagReport& report) {
-  ++total_;
+Verdict Verifier::check(const TagReport& report, const PathTable& table) {
   const PathTable::EntryList* paths =
-      table_->lookup(report.inport, report.outport);
+      table.lookup(report.inport, report.outport);
   if (paths) {
     // Linear search is intended: the per-pair path count is small
     // (Figure 6). Without rewrites the per-pair header sets are
@@ -16,15 +15,21 @@ Verdict Verifier::verify(const TagReport& report) {
     const PathEntry* matched = nullptr;
     for (const PathEntry& p : *paths) {
       if (!p.headers.contains(report.header)) continue;
-      if (p.tag == report.tag) {
-        ++passed_;
-        return Verdict{VerifyStatus::kOk, &p};
-      }
+      if (p.tag == report.tag)
+        return Verdict{VerifyStatus::kOk, &p, report.epoch};
       if (!matched) matched = &p;
     }
-    if (matched) return Verdict{VerifyStatus::kTagMismatch, matched};
+    if (matched)
+      return Verdict{VerifyStatus::kTagMismatch, matched, report.epoch};
   }
-  return Verdict{VerifyStatus::kNoPath, nullptr};
+  return Verdict{VerifyStatus::kNoPath, nullptr, report.epoch};
+}
+
+Verdict Verifier::verify(const TagReport& report) {
+  ++total_;
+  const Verdict v = check(report, *table_);
+  if (v.ok()) ++passed_;
+  return v;
 }
 
 }  // namespace veridp

@@ -22,22 +22,42 @@ enum class VerifyStatus {
   kOk,           ///< header matched a path and tags are equal
   kNoPath,       ///< no path for the pair admits this header
   kTagMismatch,  ///< header matched a path but the tag differs
+  kStaleEpoch,   ///< report predates the snapshot window; inconclusive,
+                 ///< never counted as a data-plane failure
+  kMalformed,    ///< payload failed decode; quarantined by the ingest
+  kShed,         ///< dropped by ingest load shedding, never verified
 };
 
 struct Verdict {
   VerifyStatus status = VerifyStatus::kNoPath;
   /// The path whose header set matched (kOk / kTagMismatch), else null.
+  /// Points into the path table the report was checked against; the
+  /// server keeps superseded tables alive in its snapshot ring, so the
+  /// pointer stays valid across rule updates until the snapshot ages out.
   const PathEntry* matched = nullptr;
+  /// Config epoch of the table the report was checked against.
+  std::uint32_t epoch = 0;
 
   [[nodiscard]] bool ok() const { return status == VerifyStatus::kOk; }
+  /// A definitive data-plane inconsistency (not ok, not inconclusive).
+  [[nodiscard]] bool failed() const {
+    return status == VerifyStatus::kNoPath ||
+           status == VerifyStatus::kTagMismatch;
+  }
 };
 
 class Verifier {
  public:
   explicit Verifier(const PathTable& table) : table_(&table) {}
 
-  /// Runs Algorithm 3 on one report.
+  /// Runs Algorithm 3 on one report against the bound table, updating
+  /// the running counters.
   Verdict verify(const TagReport& report);
+
+  /// Counter-free Algorithm 3 against an arbitrary table (the server's
+  /// epoch-aware path uses this to verify against ring snapshots).
+  [[nodiscard]] static Verdict check(const TagReport& report,
+                                     const PathTable& table);
 
   // Running counters (reset with reset_stats).
   [[nodiscard]] std::uint64_t verified() const { return total_; }

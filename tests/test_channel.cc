@@ -1,0 +1,178 @@
+// ReportChannel tests: seeded transport-fault injection over encoded
+// report datagrams — determinism, per-fault counters, hold-back release,
+// and the fault history used to score chaos experiments.
+#include "veridp/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dataplane/wire.hpp"
+#include "testutil.hpp"
+
+namespace veridp {
+namespace {
+
+TagReport make_report(std::uint32_t seq, SwitchId sw = 7) {
+  TagReport r;
+  r.inport = PortKey{sw, 1};
+  r.outport = PortKey{sw, 2};
+  r.header = testutil::header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 1, 1));
+  r.tag = BloomTag::of_hop(Hop{1, sw, 2}, 16);
+  r.epoch = 3;
+  r.seq = seq;
+  return r;
+}
+
+TEST(Channel, PerfectChannelDeliversEverythingInOrder) {
+  ReportChannel ch;  // all rates zero
+  for (std::uint32_t s = 1; s <= 20; ++s) ch.send(make_report(s));
+  EXPECT_EQ(ch.pending(), 20u);
+  std::uint32_t expect = 1;
+  while (auto d = ch.deliver()) {
+    const auto r = wire::decode_report(*d);
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->seq, expect++);
+  }
+  EXPECT_EQ(expect, 21u);
+  EXPECT_EQ(ch.stats().sent, 20u);
+  EXPECT_EQ(ch.stats().delivered, 20u);
+  EXPECT_EQ(ch.stats().dropped, 0u);
+  EXPECT_TRUE(ch.history().empty());
+}
+
+TEST(Channel, DropRateLosesDatagramsAndCountsThem) {
+  ChannelConfig cfg;
+  cfg.drop_rate = 0.3;
+  cfg.seed = 42;
+  ReportChannel ch(cfg);
+  const std::uint32_t n = 500;
+  for (std::uint32_t s = 1; s <= n; ++s) ch.send(make_report(s));
+  ch.flush();
+  std::uint64_t got = 0;
+  while (ch.deliver()) ++got;
+  EXPECT_EQ(ch.stats().sent, n);
+  EXPECT_EQ(ch.stats().dropped + got, n);
+  EXPECT_GT(ch.stats().dropped, n / 10);  // ~30%, loose bounds
+  EXPECT_LT(ch.stats().dropped, n / 2);
+  // Every drop left a FaultRecord naming the source switch.
+  std::uint64_t recorded = 0;
+  for (const FaultRecord& f : ch.history())
+    if (f.kind == FaultKind::kReportDrop) {
+      EXPECT_EQ(f.sw, 7u);
+      ++recorded;
+    }
+  EXPECT_EQ(recorded, ch.stats().dropped);
+}
+
+TEST(Channel, SameSeedSameFaults) {
+  ChannelConfig cfg;
+  cfg.drop_rate = 0.2;
+  cfg.dup_rate = 0.1;
+  cfg.reorder_rate = 0.1;
+  cfg.corrupt_rate = 0.1;
+  cfg.seed = 99;
+  auto run = [&cfg]() {
+    ReportChannel ch(cfg);
+    for (std::uint32_t s = 1; s <= 200; ++s) ch.send(make_report(s));
+    ch.flush();
+    std::vector<std::vector<std::uint8_t>> out;
+    while (auto d = ch.deliver()) out.push_back(std::move(*d));
+    return out;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Channel, DuplicatesDeliverTheSameBytesTwice) {
+  ChannelConfig cfg;
+  cfg.dup_rate = 1.0;  // duplicate everything
+  ReportChannel ch(cfg);
+  ch.send(make_report(5));
+  EXPECT_EQ(ch.pending(), 2u);
+  auto a = ch.deliver();
+  auto b = ch.deliver();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+  EXPECT_EQ(ch.stats().delivered, 2u);
+}
+
+TEST(Channel, ReorderHoldsBackAndReleasesLater) {
+  ChannelConfig cfg;
+  // Hold back every datagram with hold distances 1..4: two neighbours
+  // whose distances differ by >= 2 swap places in the release order.
+  cfg.reorder_rate = 1.0;
+  cfg.max_reorder = 4;
+  cfg.seed = 7;
+  ReportChannel ch(cfg);
+  const std::uint32_t n = 50;
+  for (std::uint32_t s = 1; s <= n; ++s) ch.send(make_report(s));
+  ch.flush();
+  std::vector<std::uint32_t> order;
+  while (auto d = ch.deliver()) {
+    const auto r = wire::decode_report(*d);
+    ASSERT_TRUE(r.has_value());
+    order.push_back(r->seq);
+  }
+  ASSERT_EQ(order.size(), n);  // nothing lost, only shuffled
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(ch.stats().reordered, n);
+  // Each datagram moved at most max_reorder + slack positions.
+  std::vector<std::uint32_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t s = 1; s <= n; ++s) EXPECT_EQ(sorted[s - 1], s);
+}
+
+TEST(Channel, CorruptionFlipsExactlyOneBit) {
+  ChannelConfig cfg;
+  cfg.corrupt_rate = 1.0;
+  cfg.seed = 3;
+  ReportChannel ch(cfg);
+  const TagReport r = make_report(9);
+  const auto clean = wire::encode_report(r);
+  ch.send(r);
+  auto d = ch.deliver();
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->size(), clean.size());
+  int bit_diffs = 0;
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::uint8_t x = (*d)[i] ^ clean[i];
+    while (x) {
+      bit_diffs += x & 1;
+      x >>= 1;
+    }
+  }
+  EXPECT_EQ(bit_diffs, 1);
+  // The v2 checksum catches the flip.
+  EXPECT_FALSE(wire::decode_report(*d).has_value());
+  EXPECT_EQ(ch.stats().corrupted, 1u);
+}
+
+TEST(Channel, FlushReleasesDelayedDatagrams) {
+  ChannelConfig cfg;
+  cfg.delay_rate = 1.0;
+  cfg.max_reorder = 8;
+  ReportChannel ch(cfg);
+  ch.send(make_report(1));
+  // Held back: nothing ready yet.
+  EXPECT_FALSE(ch.deliver().has_value());
+  EXPECT_EQ(ch.pending(), 1u);
+  ch.flush();
+  EXPECT_TRUE(ch.deliver().has_value());
+  EXPECT_EQ(ch.stats().delayed, 1u);
+  EXPECT_EQ(ch.pending(), 0u);
+}
+
+TEST(Channel, HistoryIsBoundedByLimit) {
+  ChannelConfig cfg;
+  cfg.drop_rate = 1.0;
+  cfg.history_limit = 10;
+  ReportChannel ch(cfg);
+  for (std::uint32_t s = 1; s <= 100; ++s) ch.send(make_report(s));
+  EXPECT_EQ(ch.stats().dropped, 100u);
+  EXPECT_LE(ch.history().size(), 10u);
+}
+
+}  // namespace
+}  // namespace veridp

@@ -169,5 +169,92 @@ TEST_P(FaultSweep, DetectedAndRepairable) {
 
 INSTANTIATE_TEST_SUITE_P(Classes, FaultSweep, ::testing::Range(0, 8));
 
+// §2.2 "priority obedience" (the HP 5406zl behaviour): the switch keeps
+// all rules but stops honoring priorities — the oldest-inserted match
+// wins. Detection requires a rule whose physical insertion order differs
+// from its priority order, which is exactly what a live update creates.
+TEST(FaultE2E, IgnorePriorityDetectedAndLocalized) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+
+  // Live update: a high-priority blackhole for one host at the middle
+  // switch, appended to the physical table after the base rules.
+  const Match victim = Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 7), 32});
+  const RuleId id = c.add_rule(1, 1000, victim, Action::drop());
+  net.at(1).config().table.add(FlowRule{id, 1000, victim, Action::drop()});
+
+  const PacketHeader h =
+      testutil::header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 7));
+  {
+    // Sanity: with priorities honored, both planes drop at switch 1.
+    const auto r = net.inject(h, PortKey{0, 3});
+    ASSERT_EQ(r.disposition, Disposition::kDropped);
+    ASSERT_EQ(r.reports.size(), 1u);
+    ASSERT_TRUE(server.verify(r.reports[0]).ok());
+  }
+
+  FaultInjector inject(net);
+  inject.ignore_priority(1);
+  const auto r = net.inject(h, PortKey{0, 3});
+  ASSERT_EQ(r.disposition, Disposition::kDelivered)
+      << "the older /24 forward rule must shadow the blackhole";
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_FALSE(server.verify(r.reports[0]).ok())
+      << "priority inversion must be detected";
+  const LocalizeResult inferred = server.localize(r.reports[0]);
+  ASSERT_FALSE(inferred.candidates.empty());
+  bool blamed = false;
+  for (const Candidate& cand : inferred.candidates)
+    if (cand.deviating_switch == 1) blamed = true;
+  EXPECT_TRUE(blamed) << "localization must name switch 1";
+}
+
+// §6.2 "access violation": an in-bound ACL entry is lost on the switch,
+// so denied traffic leaks through while the controller still believes it
+// is filtered.
+TEST(FaultE2E, RemoveAclEntryDetectedAndLocalized) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  // Security policy: the edge port of switch 0 denies inbound telnet.
+  Match telnet;
+  telnet.dst_port = 23;
+  c.set_in_acl(0, 3, Acl().deny(telnet));
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+
+  const PacketHeader h = testutil::header(
+      Ipv4::of(10, 0, 0, 9), Ipv4::of(10, 0, 2, 9), 23, kProtoTcp, 40000);
+  {
+    // Sanity: both planes deny telnet at the entry port.
+    const auto r = net.inject(h, PortKey{0, 3});
+    ASSERT_EQ(r.disposition, Disposition::kDropped);
+    ASSERT_EQ(r.reports.size(), 1u);
+    ASSERT_TRUE(server.verify(r.reports[0]).ok());
+  }
+
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.remove_acl_entry(0, 3, /*inbound=*/true, 0));
+  const auto r = net.inject(h, PortKey{0, 3});
+  ASSERT_EQ(r.disposition, Disposition::kDelivered)
+      << "the access violation is live";
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_FALSE(server.verify(r.reports[0]).ok())
+      << "leaked traffic must be detected";
+  const LocalizeResult inferred = server.localize(r.reports[0]);
+  ASSERT_FALSE(inferred.candidates.empty());
+  bool blamed = false;
+  for (const Candidate& cand : inferred.candidates)
+    if (cand.deviating_switch == 0) blamed = true;
+  EXPECT_TRUE(blamed) << "localization must name the entry switch";
+}
+
 }  // namespace
 }  // namespace veridp

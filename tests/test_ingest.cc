@@ -1,0 +1,200 @@
+// ReportIngest tests: decode quarantine, sequence dedup, loss accounting,
+// bounded-queue load shedding with sampling back-off, and the conservation
+// law passed + failed + stale + shed + quarantined + deduped (+ in-queue)
+// == received.
+#include "veridp/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "controller/routing.hpp"
+#include "dataplane/wire.hpp"
+#include "testutil.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace {
+
+// One self-contained rig: a consistent linear(3) plane plus a server.
+struct Rig {
+  Topology topo = linear(3);
+  Controller c{topo};
+  Server server{c, Server::Mode::kFullRebuild};
+  Network net{topo};
+
+  Rig() {
+    routing::install_shortest_paths(c);
+    server.sync();
+    c.deploy(net);
+  }
+
+  /// Injects one known-good flow and returns its tag report.
+  TagReport one_report() {
+    const auto r = net.inject(
+        testutil::header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)),
+        PortKey{0, 3});
+    EXPECT_EQ(r.reports.size(), 1u);
+    return r.reports.front();
+  }
+};
+
+TEST(Ingest, CleanReportsPassAndBalance) {
+  Rig rig;
+  ReportIngest ingest(rig.server);
+  std::uint64_t offered = 0;
+  for (const auto& flow : workload::ping_all(rig.topo)) {
+    const auto r = rig.net.inject(flow.header, flow.entry);
+    for (const TagReport& rep : r.reports) {
+      EXPECT_TRUE(ingest.offer(wire::encode_report(rep)));
+      ++offered;
+    }
+  }
+  ingest.process();
+  const IngestHealth h = ingest.health();
+  EXPECT_EQ(h.received, offered);
+  EXPECT_EQ(h.passed, offered);
+  EXPECT_EQ(h.failed, 0u);
+  EXPECT_EQ(h.accounted(), h.received);
+  EXPECT_EQ(ingest.queue_depth(), 0u);
+}
+
+TEST(Ingest, MalformedDatagramsAreQuarantinedNeverInterpreted) {
+  Rig rig;
+  ReportIngest ingest(rig.server);
+  const auto good = wire::encode_report(rig.one_report());
+
+  auto truncated = good;
+  truncated.resize(good.size() / 2);
+  EXPECT_FALSE(ingest.offer(truncated));
+
+  auto flipped = good;
+  flipped[17] ^= 0x40;  // checksum catches it
+  EXPECT_FALSE(ingest.offer(flipped));
+
+  EXPECT_FALSE(ingest.offer({0xde, 0xad, 0xbe, 0xef}));
+
+  const IngestHealth h = ingest.health();
+  EXPECT_EQ(h.received, 3u);
+  EXPECT_EQ(h.quarantined, 3u);
+  EXPECT_EQ(ingest.quarantine().size(), 3u);
+  EXPECT_EQ(ingest.queue_depth(), 0u);
+  EXPECT_EQ(h.accounted(), h.received);
+}
+
+TEST(Ingest, DuplicateSequencesAreSuppressed) {
+  Rig rig;
+  ReportIngest ingest(rig.server);
+  const auto bytes = wire::encode_report(rig.one_report());
+  EXPECT_TRUE(ingest.offer(bytes));
+  EXPECT_FALSE(ingest.offer(bytes));  // retransmit / channel duplicate
+  EXPECT_FALSE(ingest.offer(bytes));
+  ingest.process();
+  const IngestHealth h = ingest.health();
+  EXPECT_EQ(h.received, 3u);
+  EXPECT_EQ(h.passed, 1u);
+  EXPECT_EQ(h.deduped, 2u);
+  EXPECT_EQ(h.accounted(), h.received);
+}
+
+TEST(Ingest, SequenceGapsDriveTheLossEstimate) {
+  Rig rig;
+  ReportIngest ingest(rig.server);
+  TagReport base = rig.one_report();
+  // The channel delivered seqs {1, 2, 5, 9}: 1..9 minus 5 unique → 5 lost.
+  for (std::uint32_t s : {1u, 2u, 5u, 9u}) {
+    TagReport r = base;
+    r.seq = s;
+    ingest.offer_report(r);
+  }
+  EXPECT_EQ(ingest.health().lost_estimate, 5u);
+}
+
+TEST(Ingest, OverloadShedsDeterministicallyAndStaysBounded) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 16;
+  cfg.high_watermark = 8;
+  cfg.shed_modulus = 4;
+  ReportIngest ingest(rig.server, cfg);
+
+  int nacks = 0;
+  std::uint64_t signals = 0;
+  double factor_seen = 0.0;
+  ingest.set_backoff_sink([&](double factor) {
+    ++signals;
+    factor_seen = factor;
+    return ++nacks > 2;  // lose the first two back-off messages
+  });
+
+  const TagReport base = rig.one_report();
+  const std::uint32_t flood = 500;
+  for (std::uint32_t s = 1; s <= flood; ++s) {
+    TagReport r = base;
+    r.seq = s + 1;  // seq 1 was used by one_report()
+    ingest.offer_report(r);
+  }
+
+  // The queue never grew past its hard bound, shedding engaged, and the
+  // kept sample is the deterministic seq % 4 == 0 subset.
+  EXPECT_LE(ingest.queue_depth(), cfg.capacity);
+  EXPECT_TRUE(ingest.shedding());
+  IngestHealth h = ingest.health();
+  EXPECT_EQ(h.received, flood);
+  EXPECT_GT(h.shed, 0u);
+  EXPECT_EQ(h.accounted() + ingest.queue_depth(), h.received)
+      << "every datagram is in exactly one bucket";
+
+  // Back-off: two lost signals, each retried after exponentially more
+  // arrivals, then the third attempt acked.
+  EXPECT_EQ(h.backoff_signals, 3u);
+  EXPECT_EQ(h.backoff_acked, 1u);
+  EXPECT_EQ(signals, 3u);
+  EXPECT_DOUBLE_EQ(factor_seen, cfg.backoff_factor);
+
+  // Draining the queue closes the books: accounted == received.
+  ingest.process();
+  h = ingest.health();
+  EXPECT_EQ(ingest.queue_depth(), 0u);
+  EXPECT_EQ(h.accounted(), h.received);
+  EXPECT_GT(h.passed, 0u);
+  EXPECT_EQ(h.failed, 0u) << "shedding must not manufacture failures";
+}
+
+TEST(Ingest, BackoffGivesUpAfterMaxRetries) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 4;
+  cfg.high_watermark = 2;
+  cfg.backoff_max_retries = 3;
+  ReportIngest ingest(rig.server, cfg);
+  ingest.set_backoff_sink([](double) { return false; });  // always lost
+
+  const TagReport base = rig.one_report();
+  for (std::uint32_t s = 2; s <= 2000; ++s) {
+    TagReport r = base;
+    r.seq = s;
+    ingest.offer_report(r);
+  }
+  const IngestHealth h = ingest.health();
+  // Initial attempt + max_retries, then it stops asking; shedding still
+  // bounds the queue.
+  EXPECT_EQ(h.backoff_signals, 1u + cfg.backoff_max_retries);
+  EXPECT_EQ(h.backoff_acked, 0u);
+  EXPECT_LE(ingest.queue_depth(), cfg.capacity);
+}
+
+TEST(Ingest, FailuresAreKeptForLocalization) {
+  Rig rig;
+  ReportIngest ingest(rig.server);
+  TagReport bogus = rig.one_report();
+  bogus.outport = PortKey{2, 9};  // a port the logical config never uses
+  bogus.seq = 100;
+  ingest.offer_report(bogus);
+  ingest.process();
+  const IngestHealth h = ingest.health();
+  EXPECT_EQ(h.failed, 1u);
+  ASSERT_EQ(ingest.recent_failures().size(), 1u);
+  EXPECT_EQ(ingest.recent_failures().front().outport, bogus.outport);
+}
+
+}  // namespace
+}  // namespace veridp

@@ -183,6 +183,125 @@ TEST(Server, TagBitsPropagateToTable) {
   EXPECT_TRUE(server.verify(r.reports[0]).ok());
 }
 
+// Regression: stats() and table() force the same lazy rebuild that
+// verify() does. With epoch checking on, a rebuild triggered by a stats
+// call must retire the superseded table into the snapshot ring exactly
+// like one triggered by verify — otherwise in-flight reports sampled
+// under the old config turn into false positives, and Verdict::matched
+// pointers handed out earlier dangle.
+TEST(Server, StatsRebuildInterleavesWithEpochVerification) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  server.enable_epoch_checking();
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  // A report sampled under the initial config.
+  const auto r0 = net.inject(
+      header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)), PortKey{0, 3});
+  ASSERT_EQ(r0.reports.size(), 1u);
+  const Verdict v0 = server.verify(r0.reports[0]);
+  ASSERT_TRUE(v0.ok());
+  ASSERT_NE(v0.matched, nullptr);
+  const BloomTag tag_then = v0.matched->tag;
+
+  // Rule event, then a stats() call — NOT a verify — forces the rebuild.
+  c.add_rule(1, 1000,
+             Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 1), 32}),
+             Action::drop());
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+  (void)server.stats();
+  EXPECT_EQ(server.snapshots(), 1u)
+      << "the stats() rebuild must retire the old table into the ring";
+
+  // The pre-update report still verifies OK against its epoch's table,
+  // interleaved with more stats/table accesses.
+  EXPECT_TRUE(server.verify(r0.reports[0]).ok());
+  (void)server.table();
+  // The old matched entry is still alive (the ring owns it now) — under
+  // ASan this dereference is the regression test.
+  EXPECT_EQ(v0.matched->tag, tag_then);
+
+  // A report sampled under the new config verifies against the new table.
+  const auto r1 = net.inject(
+      header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)), PortKey{0, 3});
+  ASSERT_EQ(r1.disposition, Disposition::kDropped);
+  ASSERT_EQ(r1.reports.size(), 1u);
+  EXPECT_TRUE(server.verify(r1.reports[0]).ok());
+  EXPECT_EQ(server.reports_failed(), 0u);
+  EXPECT_EQ(server.reports_verified(),
+            server.reports_passed() + server.reports_failed() +
+                server.reports_stale());
+}
+
+// Without a covering snapshot and outside the grace window, an old-epoch
+// report that fails against the current table is classified stale —
+// inconclusive, never a false positive.
+TEST(Server, UncoveredOldEpochFailuresAreStaleNotFailed) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  server.enable_epoch_checking(/*snapshot_ring=*/0, /*grace_window=*/0);
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  const auto r0 = net.inject(
+      header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)), PortKey{0, 3});
+  ASSERT_EQ(r0.reports.size(), 1u);
+
+  // The config moves on; the old path is no longer admitted.
+  c.add_rule(1, 1000,
+             Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 1), 32}),
+             Action::drop());
+  const Verdict v = server.verify(r0.reports[0]);
+  EXPECT_EQ(v.status, VerifyStatus::kStaleEpoch);
+  EXPECT_FALSE(v.failed());
+  EXPECT_EQ(server.reports_stale(), 1u);
+  EXPECT_EQ(server.reports_failed(), 0u);
+}
+
+// Incremental mode mutates its table in place (no snapshots); the grace
+// window supplies the same no-false-positive guarantee: a recent-epoch
+// report that passes the current table is conclusive, one that fails is
+// stale.
+TEST(Server, IncrementalModeUsesGraceWindowForOldEpochs) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kIncremental);
+  server.enable_epoch_checking();
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  const auto kept = net.inject(
+      header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 1, 1)), PortKey{0, 3});
+  const auto rerouted = net.inject(
+      header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)), PortKey{0, 3});
+  ASSERT_EQ(kept.reports.size(), 1u);
+  ASSERT_EQ(rerouted.reports.size(), 1u);
+
+  // In-fragment update: blackhole the second destination.
+  c.add_rule(1, 32, Match::dst_prefix(Prefix{Ipv4::of(10, 0, 2, 1), 32}),
+             Action::drop());
+  // The unaffected old report passes the (mutated) current table: kOk.
+  EXPECT_TRUE(server.verify(kept.reports[0]).ok());
+  // The rerouted one fails the current table but is within the grace
+  // window: kStaleEpoch, not a false positive.
+  const Verdict v = server.verify(rerouted.reports[0]);
+  EXPECT_EQ(v.status, VerifyStatus::kStaleEpoch);
+  EXPECT_EQ(server.reports_failed(), 0u);
+}
+
 TEST(Server, StatsExposeTableShape) {
   Topology topo = linear(3);
   Controller c(topo);

@@ -104,15 +104,39 @@ TEST(Wire, ReportRoundTripsAtAllWidths) {
                    static_cast<SwitchId>(rng.uniform(0, 30)),
                    static_cast<PortId>(rng.uniform(1, 40))});
     r.tag = t;
+    r.epoch = static_cast<std::uint32_t>(rng.uniform(0, 1u << 30));
+    r.seq = static_cast<std::uint32_t>(rng.uniform(1, 1u << 30));
     const auto payload = wire::encode_report(r);
-    EXPECT_EQ(payload.size(), 41u);
+    EXPECT_EQ(payload.size(), wire::kReportV2Size);
     const auto back = wire::decode_report(payload);
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(back->inport, r.inport);
     EXPECT_EQ(back->outport, r.outport);
     EXPECT_EQ(back->header, r.header);
     EXPECT_EQ(back->tag, r.tag);
+    EXPECT_EQ(back->epoch, r.epoch);
+    EXPECT_EQ(back->seq, r.seq);
   }
+}
+
+TEST(Wire, LegacyV1ReportsStillDecode) {
+  TagReport r;
+  r.inport = PortKey{3, 1};
+  r.outport = PortKey{5, 2};
+  r.header = testutil::header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 1, 1));
+  r.tag = BloomTag::of_hop(Hop{1, 3, 2}, 16);
+  r.epoch = 77;  // dropped by the v1 encoding
+  r.seq = 99;
+  const auto payload = wire::encode_report(r, /*version=*/1);
+  EXPECT_EQ(payload.size(), wire::kReportV1Size);
+  const auto back = wire::decode_report(payload);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->inport, r.inport);
+  EXPECT_EQ(back->outport, r.outport);
+  EXPECT_EQ(back->header, r.header);
+  EXPECT_EQ(back->tag, r.tag);
+  EXPECT_EQ(back->epoch, 0u) << "v1 has no epoch field";
+  EXPECT_EQ(back->seq, 0u) << "v1 has no sequence field";
 }
 
 TEST(Wire, ReportRejectsBadMagicAndLength) {
@@ -125,9 +149,14 @@ TEST(Wire, ReportRejectsBadMagicAndLength) {
   auto short_payload = payload;
   short_payload.pop_back();
   EXPECT_FALSE(wire::decode_report(short_payload).has_value());
-  auto bad_bits = payload;
-  bad_bits[2] = 200;
-  EXPECT_FALSE(wire::decode_report(bad_bits).has_value());
+  // Tag width out of range (checked via v1, where no checksum masks it).
+  auto v1 = wire::encode_report(r, /*version=*/1);
+  v1[2] = 200;
+  EXPECT_FALSE(wire::decode_report(v1).has_value());
+  // Any single corrupted bit in a v2 payload trips the checksum.
+  auto flipped = payload;
+  flipped[44] ^= 0x10;  // inside the epoch field
+  EXPECT_FALSE(wire::decode_report(flipped).has_value());
 }
 
 // End to end: reports produced by the simulator survive the UDP wire

@@ -4,6 +4,10 @@
 //   veridp_cli pathtable <name> [--rules N]    build + summarize the path table
 //   veridp_cli monitor <name> --fault KIND [--seed S] [--repair]
 //                                              run a fault scenario end to end
+//   veridp_cli chaos <name> [--loss P] [--dup P] [--reorder P] [--corrupt P]
+//                    [--rounds N] [--updates N] [--seed S] [--fault KIND]
+//                                              drive reports through a lossy
+//                                              channel + overload-aware ingest
 //
 // <name> ∈ {linear, fat4, fat6, stanford, internet2, toy}
 // KIND   ∈ {drop-rule, blackhole, rewire, external, priority}
@@ -11,12 +15,15 @@
 // The CLI exists so the system can be exercised without writing C++;
 // every command prints a deterministic, diff-able report.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "controller/routing.hpp"
 #include "dataplane/fault.hpp"
 #include "topo/generators.hpp"
+#include "veridp/channel.hpp"
+#include "veridp/ingest.hpp"
 #include "veridp/repair.hpp"
 #include "veridp/server.hpp"
 #include "veridp/workload.hpp"
@@ -31,6 +38,9 @@ int usage() {
                "  veridp_cli topo <name>\n"
                "  veridp_cli pathtable <name> [--rules N]\n"
                "  veridp_cli monitor <name> --fault KIND [--seed S] [--repair]\n"
+               "  veridp_cli chaos <name> [--loss P] [--dup P] [--reorder P]\n"
+               "             [--corrupt P] [--rounds N] [--updates N]\n"
+               "             [--seed S] [--fault KIND]\n"
                "names:  linear fat4 fat6 stanford internet2 toy\n"
                "faults: drop-rule blackhole rewire external priority\n");
   return 2;
@@ -186,6 +196,137 @@ int cmd_monitor(Topology topo, const std::string& fault_kind,
   return 0;
 }
 
+// Chaos experiment: the full resilient report path (wire v2 → lossy
+// channel → overload-aware ingest → epoch-aware server) under continuous
+// rule updates, optionally with a real switch fault injected halfway.
+int cmd_chaos(Topology topo, const ChannelConfig& ccfg, int rounds,
+              std::size_t updates_per_round, std::uint64_t seed,
+              const char* fault_kind) {
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  server.enable_epoch_checking();
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  ReportChannel channel(ccfg);
+  ReportIngest ingest(server);
+  ingest.set_backoff_sink([&net](double factor) {
+    net.scale_sampling(factor);
+    return true;
+  });
+
+  Rng rng(seed);
+  FaultInjector inject(net);
+  bool fault_armed = fault_kind != nullptr;
+  const auto flows = workload::ping_all(topo);
+  for (int round = 0; round < rounds; ++round) {
+    if (fault_armed && round == rounds / 2) {
+      // Inject the switch fault halfway so clean and faulty reports mix.
+      const SwitchId sw =
+          static_cast<SwitchId>(rng.index(topo.num_switches()));
+      const auto& rules = net.at(sw).config().table.rules();
+      if (!rules.empty()) {
+        const FlowRule& victim = rules[rng.index(rules.size())];
+        const std::string kind = fault_kind;
+        bool done = true;
+        if (kind == "drop-rule") {
+          inject.drop_rule(sw, victim.id);
+        } else if (kind == "blackhole") {
+          inject.replace_with_drop(sw, victim.id);
+        } else if (kind == "rewire") {
+          PortId wrong = static_cast<PortId>(1 + rng.index(topo.num_ports(sw)));
+          if (wrong == victim.action.out) wrong = wrong == 1 ? 2 : wrong - 1;
+          inject.rewrite_rule_output(sw, victim.id, wrong);
+        } else if (kind == "priority") {
+          inject.ignore_priority(sw);
+        } else if (kind == "external") {
+          inject.insert_external_rule(
+              sw, FlowRule{999999, 100000, Match::any(),
+                           Action::output(static_cast<PortId>(
+                               1 + rng.index(topo.num_ports(sw))))});
+        } else {
+          return usage();
+        }
+        if (done) {
+          std::printf("fault: %s\n",
+                      inject.history().back().describe().c_str());
+          fault_armed = false;
+        }
+      }
+    }
+
+    for (const auto& f : flows) {
+      const auto r = net.inject(f.header, f.entry, /*t=*/round);
+      for (const TagReport& rep : r.reports) channel.send(rep);
+      while (auto d = channel.deliver()) ingest.offer(*d);
+    }
+    ingest.process();
+    if (updates_per_round > 0) {
+      // Config churn: blackhole the next few hosts at their edge switches
+      // (works on every topology, including /32-subnet fat trees where
+      // nested refinement rules cannot exist).
+      const auto& subnets = topo.subnets();
+      std::size_t changed = 0;
+      for (std::size_t i = 0; i < updates_per_round; ++i) {
+        const std::size_t at =
+            static_cast<std::size_t>(round) * updates_per_round + i;
+        if (at >= subnets.size()) break;
+        const auto& [dst_port, subnet] = subnets[at];
+        c.add_rule(dst_port.sw, 100000 + static_cast<std::int32_t>(at),
+                   Match::dst_prefix(subnet), Action::drop());
+        ++changed;
+      }
+      if (changed > 0) {
+        c.deploy(net);
+        net.set_config_epoch(c.epoch());
+      }
+    }
+  }
+  channel.flush();
+  while (auto d = channel.deliver()) ingest.offer(*d);
+  ingest.process();
+
+  const ChannelStats& cs = channel.stats();
+  std::printf("channel: sent %llu delivered %llu dropped %llu dup %llu "
+              "reorder %llu delay %llu corrupt %llu\n",
+              static_cast<unsigned long long>(cs.sent),
+              static_cast<unsigned long long>(cs.delivered),
+              static_cast<unsigned long long>(cs.dropped),
+              static_cast<unsigned long long>(cs.duplicated),
+              static_cast<unsigned long long>(cs.reordered),
+              static_cast<unsigned long long>(cs.delayed),
+              static_cast<unsigned long long>(cs.corrupted));
+  const IngestHealth h = ingest.health();
+  std::printf("ingest:  received %llu passed %llu failed %llu stale %llu "
+              "shed %llu quarantined %llu deduped %llu\n",
+              static_cast<unsigned long long>(h.received),
+              static_cast<unsigned long long>(h.passed),
+              static_cast<unsigned long long>(h.failed),
+              static_cast<unsigned long long>(h.stale),
+              static_cast<unsigned long long>(h.shed),
+              static_cast<unsigned long long>(h.quarantined),
+              static_cast<unsigned long long>(h.deduped));
+  std::printf("ingest:  lost-estimate %llu backoff signals %llu acked %llu\n",
+              static_cast<unsigned long long>(h.lost_estimate),
+              static_cast<unsigned long long>(h.backoff_signals),
+              static_cast<unsigned long long>(h.backoff_acked));
+  std::printf("server:  epoch %u snapshots %zu verified %llu\n",
+              server.epoch(), server.snapshots(),
+              static_cast<unsigned long long>(server.reports_verified()));
+  const bool balanced = h.accounted() == h.received;
+  std::printf("conservation: %s\n", balanced ? "ok" : "VIOLATED");
+  if (!balanced) return 1;
+  // Without an injected switch fault, any failure is a false positive.
+  if (fault_kind == nullptr && h.failed != 0) {
+    std::printf("FALSE POSITIVES under transport faults\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +348,26 @@ int main(int argc, char** argv) {
     return cmd_monitor(std::move(*topo), kind,
                        seed ? static_cast<std::uint64_t>(std::atoll(seed)) : 7,
                        has_flag(argc, argv, "--repair"));
+  }
+  if (cmd == "chaos") {
+    ChannelConfig ccfg;
+    auto rate = [&](const char* flag, double* out) {
+      if (const char* v = flag_value(argc, argv, flag)) *out = std::atof(v);
+    };
+    rate("--loss", &ccfg.drop_rate);
+    rate("--dup", &ccfg.dup_rate);
+    rate("--reorder", &ccfg.reorder_rate);
+    rate("--corrupt", &ccfg.corrupt_rate);
+    const char* seed = flag_value(argc, argv, "--seed");
+    const std::uint64_t s =
+        seed ? static_cast<std::uint64_t>(std::atoll(seed)) : 7;
+    ccfg.seed = s;
+    const char* rounds = flag_value(argc, argv, "--rounds");
+    const char* updates = flag_value(argc, argv, "--updates");
+    return cmd_chaos(std::move(*topo), ccfg,
+                     rounds ? std::atoi(rounds) : 4,
+                     updates ? static_cast<std::size_t>(std::atoll(updates)) : 3,
+                     s, flag_value(argc, argv, "--fault"));
   }
   return usage();
 }
