@@ -4,22 +4,119 @@
 //
 // Verification is read-only over the path table (BDD evaluation walks
 // immutable nodes; tag comparison is pure), so reports can be verified
-// embarrassingly parallel with one Verifier per worker. We measure
-// aggregate throughput for 1..N threads over the Stanford-like table.
+// embarrassingly parallel. Two measurements per thread count over the
+// Stanford-like table:
+//
+//   * raw    — one thread-local Verifier per worker over a shared const
+//              table: the scaling ceiling of the read path itself;
+//   * server — ParallelServer::verify_stream, the production fan-out
+//              (snapshot load + shared verify_epoch_aware per batch).
+//
+// The sweep is a fixed {1, 2, 4, 8} regardless of the local core count
+// so the emitted JSON trajectory is comparable across machines; on a
+// single-core host the speedup column measures threading overhead only
+// (hardware_concurrency is recorded in the JSON for that reason).
+// Results land in BENCH_parallel_verify.json (override the path with
+// the VERIDP_BENCH_JSON env var).
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "veridp/parallel_server.hpp"
 #include "veridp/verifier.hpp"
 
 using namespace veridp;
 using namespace veridp::bench;
 
+namespace {
+
+constexpr std::size_t kRounds = 20;
+constexpr int kTagBits = 16;
+
+struct Point {
+  unsigned threads = 0;
+  double raw_rate = 0.0;
+  double raw_speedup = 0.0;
+  double server_rate = 0.0;
+  double server_speedup = 0.0;
+};
+
+double measure_raw(const PathTable& table,
+                   const std::vector<TagReport>& reports, unsigned n) {
+  std::atomic<std::uint64_t> verified{0};
+  std::atomic<bool> any_failure{false};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (unsigned w = 0; w < n; ++w) {
+    workers.emplace_back([&table, &reports, &verified, &any_failure] {
+      Verifier v(table);  // thread-local verifier, shared const table
+      for (std::size_t round = 0; round < kRounds; ++round)
+        for (const TagReport& r : reports)
+          if (!v.verify(r).ok()) any_failure = true;
+      verified += v.verified();
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double dt = std::chrono::duration<double>(t1 - t0).count();
+  if (any_failure) std::printf("  (UNEXPECTED verification failure!)\n");
+  return static_cast<double>(verified.load()) / dt;
+}
+
+double measure_server(ParallelServer& ps, const std::vector<TagReport>& stream,
+                      unsigned n) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const ParallelServer::StreamTotals totals = ps.verify_stream(stream, n);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double dt = std::chrono::duration<double>(t1 - t0).count();
+  if (totals.passed != totals.verified)
+    std::printf("  (UNEXPECTED: %llu of %llu reports did not pass!)\n",
+                static_cast<unsigned long long>(totals.verified -
+                                                totals.passed),
+                static_cast<unsigned long long>(totals.verified));
+  return static_cast<double>(totals.verified) / dt;
+}
+
+void write_json(const Setup& s, std::size_t reports, unsigned hw,
+                const std::vector<Point>& points) {
+  const char* path = std::getenv("VERIDP_BENCH_JSON");
+  if (!path) path = "BENCH_parallel_verify.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"parallel_verify\",\n"
+               "  \"setup\": \"%s\",\n"
+               "  \"reports\": %zu,\n"
+               "  \"rounds\": %zu,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"points\": [\n",
+               s.name.c_str(), reports, kRounds, hw);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& p = points[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"raw_reports_per_s\": %.0f, "
+                 "\"raw_speedup\": %.3f, \"server_reports_per_s\": %.0f, "
+                 "\"server_speedup\": %.3f}%s\n",
+                 p.threads, p.raw_rate, p.raw_speedup, p.server_rate,
+                 p.server_speedup, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
 int main() {
   rule_header("Ablation: parallel tag-report verification (6.4)");
 
   Setup s = make_stanford();
-  auto [table, secs] = timed_build(s);
+  auto [table, secs] = timed_build(s, kTagBits);
   (void)secs;
 
   // One consistent report per path.
@@ -29,35 +126,37 @@ int main() {
     if (auto h = e.headers.sample(rng))
       reports.push_back(TagReport{in, out, *h, e.tag});
   });
-  std::printf("%zu reports over the Stanford-like path table\n\n",
+  std::printf("%zu reports over the Stanford-like path table\n",
               reports.size());
-  std::printf("threads   reports/s     speedup\n");
+
+  ParallelServer ps(s.controller, ParallelConfig{}, kTagBits);
+  ps.sync();
+  // verify_stream gets the same total work as the raw loop: the report
+  // set replicated kRounds times, split across the workers.
+  std::vector<TagReport> stream;
+  stream.reserve(reports.size() * kRounds);
+  for (std::size_t round = 0; round < kRounds; ++round)
+    stream.insert(stream.end(), reports.begin(), reports.end());
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  double base = 0.0;
-  for (unsigned n = 1; n <= hw; n *= 2) {
-    constexpr std::size_t kRounds = 20;  // each worker verifies all reports
-    std::atomic<std::uint64_t> verified{0};
-    std::atomic<bool> any_failure{false};
-    const auto t0 = std::chrono::steady_clock::now();
-    std::vector<std::thread> workers;
-    for (unsigned w = 0; w < n; ++w) {
-      workers.emplace_back([&table, &reports, &verified, &any_failure] {
-        Verifier v(table);  // thread-local verifier, shared const table
-        for (std::size_t round = 0; round < kRounds; ++round)
-          for (const TagReport& r : reports)
-            if (!v.verify(r).ok()) any_failure = true;
-        verified += v.verified();
-      });
-    }
-    for (auto& t : workers) t.join();
-    const auto t1 = std::chrono::steady_clock::now();
-    const double dt = std::chrono::duration<double>(t1 - t0).count();
-    const double rate = static_cast<double>(verified.load()) / dt;
-    if (n == 1) base = rate;
-    std::printf("%7u   %10.0f   %6.2fx%s\n", n, rate, rate / base,
-                any_failure ? "  (UNEXPECTED verification failure!)" : "");
+  std::printf("hardware_concurrency: %u\n\n", hw);
+  std::printf("threads   raw reports/s   speedup   server reports/s   speedup\n");
+
+  std::vector<Point> points;
+  for (unsigned n : {1u, 2u, 4u, 8u}) {
+    Point p;
+    p.threads = n;
+    p.raw_rate = measure_raw(table, reports, n);
+    p.server_rate = measure_server(ps, stream, n);
+    p.raw_speedup = points.empty() ? 1.0 : p.raw_rate / points.front().raw_rate;
+    p.server_speedup =
+        points.empty() ? 1.0 : p.server_rate / points.front().server_rate;
+    std::printf("%7u   %13.0f   %6.2fx   %16.0f   %6.2fx\n", n, p.raw_rate,
+                p.raw_speedup, p.server_rate, p.server_speedup);
+    points.push_back(p);
   }
+
+  write_json(s, reports.size(), hw, points);
   std::printf("\npaper: ~5x10^5 reports/s single-threaded; verification "
               "state is read-only so throughput scales with cores\n");
   return 0;

@@ -148,9 +148,13 @@ bool BddManager::eval(BddRef a, const std::function<bool(int)>& bit) const {
   return a == kBddTrue;
 }
 
-double BddManager::sat_count(BddRef a) {
+double BddManager::sat_count(BddRef a) const {
   // count(n) = number of assignments of variables >= n.var satisfying n,
-  // scaled at the end for variables above the root.
+  // scaled at the end for variables above the root. The lock spans the
+  // whole recursion: contention is irrelevant (cold diagnostic path) and
+  // a coarse guard keeps the memoized cache race-free for concurrent
+  // verification-side callers.
+  std::lock_guard<std::mutex> lk(count_mu_);
   std::function<double(BddRef)> rec = [&](BddRef r) -> double {
     if (r == kBddFalse) return 0.0;
     if (r == kBddTrue) return 1.0;

@@ -18,10 +18,28 @@
 // Handles (`BddRef`) are plain integers: 0 is the FALSE terminal, 1 is the
 // TRUE terminal. Variables are tested in increasing index order from the
 // root (variable 0 is the topmost).
+//
+// Thread-safety contract (audited for the parallel verification server;
+// the concurrency tests under the TSan preset exercise it):
+//
+//   * READ-ONLY ops — eval, pick_one, pick_random, size, top_var, dump,
+//     is_false/is_true — walk the immutable node store and allocate
+//     nothing shared; any number of threads may run them concurrently.
+//   * sat_count is logically read-only but memoizes; its cache is
+//     guarded by an internal mutex, so it is safe concurrently with the
+//     read-only ops and with itself.
+//   * EVERY OTHER member (var, nvar, apply_*, ite, implies, and_all,
+//     or_all, cube, exists) may create nodes or touch the unguarded
+//     apply cache and requires EXCLUSIVE access to the manager — no
+//     concurrent reader, because node creation can reallocate the store
+//     readers are walking. The parallel server therefore builds each
+//     published path-table snapshot in a fresh manager and never
+//     mutates one that readers hold.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -76,7 +94,9 @@ class BddManager {
 
   /// Number of satisfying assignments over all num_vars() variables,
   /// as a double (the count can exceed 2^64 for 104-var headers).
-  double sat_count(BddRef a);
+  /// Memoized behind an internal mutex: safe to call concurrently with
+  /// the read-only ops (see the thread-safety contract above).
+  double sat_count(BddRef a) const;
 
   /// Picks one satisfying assignment; returns nullopt iff a == FALSE.
   /// Unconstrained variables are set to 0.
@@ -147,8 +167,11 @@ class BddManager {
   std::unordered_map<std::uint64_t, BddRef> unique_;
   // Operation cache: (op, a, b) -> result.
   std::unordered_map<CacheKey, BddRef, CacheKeyHash> op_cache_;
-  // sat_count memo, invalidated never (nodes are immutable).
-  std::unordered_map<BddRef, double> count_cache_;
+  // sat_count memo, invalidated never (nodes are immutable). Mutated
+  // under count_mu_ from the logically-const sat_count so concurrent
+  // readers (e.g. HeaderSet::count from verification threads) are safe.
+  mutable std::mutex count_mu_;
+  mutable std::unordered_map<BddRef, double> count_cache_;
 };
 
 }  // namespace veridp

@@ -4,6 +4,18 @@
 //
 // All HeaderSets belonging to one network share a HeaderSpace (which owns
 // the BddManager); set operations between spaces are undefined.
+//
+// Thread-safety (mirrors the BddManager contract, see bdd.hpp): a
+// HeaderSet value is immutable, and the MEMBERSHIP-side queries —
+// contains, any_member, sample, count, bdd_size, empty, is_all, ref,
+// operator== — are race-free for any number of concurrent threads over
+// sets of the same space. This is exactly what tag verification touches,
+// which is why verification parallelizes without locks. The ALGEBRA side
+// — operator&/|/-/^/~, subset_of, set_field, and every HeaderSpace
+// constructor method — creates BDD nodes in the shared manager and
+// requires exclusive access to the whole space (no concurrent reader).
+// Builders therefore construct each published path-table snapshot in its
+// own fresh HeaderSpace.
 #pragma once
 
 #include <cstdint>

@@ -86,4 +86,12 @@ void ReportChannel::flush() {
   held_.clear();
 }
 
+std::vector<std::vector<std::uint8_t>> ReportChannel::drain_all() {
+  flush();
+  std::vector<std::vector<std::uint8_t>> out;
+  out.reserve(ready_.size());
+  while (auto d = deliver()) out.push_back(std::move(*d));
+  return out;
+}
+
 }  // namespace veridp

@@ -17,6 +17,11 @@
 // Every injected fault is counted and recorded as a FaultRecord so chaos
 // experiments can score the ingest pipeline against ground truth, the
 // same way FaultInjector scores switch-fault detection (Table 3).
+//
+// The channel is single-threaded (its fault RNG must stay deterministic
+// for reproducibility). Concurrency experiments capture the delivered
+// stream first — `drain_all` exists for that — and fan the captured
+// datagrams out to producer threads.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +76,12 @@ class ReportChannel {
   /// Releases every held-back datagram into the ready queue (end of an
   /// experiment; in a real deployment, time passing).
   void flush();
+
+  /// flush() + deliver() until empty: the rest of the channel's traffic
+  /// in delivery order. Lets concurrency tests capture one deterministic
+  /// stream and replay it through both the sequential oracle and the
+  /// parallel server's producer threads.
+  std::vector<std::vector<std::uint8_t>> drain_all();
 
   /// Datagrams still inside the channel (ready + held back).
   [[nodiscard]] std::size_t pending() const {

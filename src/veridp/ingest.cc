@@ -11,21 +11,8 @@ ReportIngest::ReportIngest(Server& server, IngestConfig cfg)
 }
 
 bool ReportIngest::note_sequence(SwitchId sw, std::uint32_t seq) {
-  SeqState& st = seq_state_[sw];
-  if (!st.seen.insert(seq).second) return false;
-  st.order.push_back(seq);
-  if (st.order.size() > cfg_.dedup_window) {
-    st.seen.erase(st.order.front());
-    st.order.pop_front();
-  }
-  if (st.unique == 0) {
-    st.min_seq = st.max_seq = seq;
-  } else {
-    if (seq < st.min_seq) st.min_seq = seq;
-    if (seq > st.max_seq) st.max_seq = seq;
-  }
-  ++st.unique;
-  return true;
+  return seq_state_.try_emplace(sw, cfg_.dedup_window)
+      .first->second.note(seq);
 }
 
 void ReportIngest::maybe_signal_backoff() {
@@ -126,15 +113,8 @@ std::size_t ReportIngest::process(std::size_t max) {
 IngestHealth ReportIngest::health() const {
   IngestHealth h = health_;
   h.lost_estimate = 0;
-  // Sequence numbers start at 1 per switch, so the span [min, max] of
-  // observed seqs minus the unique count is a lower bound on channel
-  // loss (tail losses after max are invisible; corrupted datagrams
-  // surface here too since their seq never arrives intact).
-  for (const auto& [sw, st] : seq_state_) {
-    if (st.unique == 0) continue;
-    const std::uint64_t span = st.max_seq - st.min_seq + 1ull;
-    if (span > st.unique) h.lost_estimate += span - st.unique;
-  }
+  for (const auto& [sw, tracker] : seq_state_)
+    h.lost_estimate += tracker.lost_estimate();
   return h;
 }
 

@@ -32,9 +32,9 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "veridp/seq_tracker.hpp"
 #include "veridp/server.hpp"
 
 namespace veridp {
@@ -113,14 +113,6 @@ class ReportIngest {
   }
 
  private:
-  struct SeqState {
-    std::unordered_set<std::uint32_t> seen;
-    std::deque<std::uint32_t> order;  ///< eviction order for `seen`
-    std::uint32_t min_seq = 0;
-    std::uint32_t max_seq = 0;
-    std::uint64_t unique = 0;
-  };
-
   /// Returns false if the report is a duplicate.
   bool note_sequence(SwitchId sw, std::uint32_t seq);
   void maybe_signal_backoff();
@@ -129,7 +121,7 @@ class ReportIngest {
   IngestConfig cfg_;
   IngestHealth health_;
   std::deque<TagReport> queue_;
-  std::unordered_map<SwitchId, SeqState> seq_state_;
+  std::unordered_map<SwitchId, SeqTracker> seq_state_;
   std::deque<std::vector<std::uint8_t>> quarantine_;
   std::deque<TagReport> failures_;
 

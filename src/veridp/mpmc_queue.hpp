@@ -1,0 +1,113 @@
+// Bounded multi-producer / multi-consumer queue: the conveyor belt
+// between ingest producers and verification workers.
+//
+// Deliberately a mutex + condition-variable design rather than a
+// lock-free ring: the per-item cost that matters in this system is BDD
+// membership evaluation (microseconds), not queue ops (tens of
+// nanoseconds), and a mutex-based queue is provably correct under
+// ThreadSanitizer with no relaxed-ordering subtleties. The *hot* shared
+// state — the path-table snapshot — is the thing published lock-free
+// (see parallel_server.hpp); the queue is plumbing.
+//
+// Completion tracking follows the task_done/wait_idle protocol: push
+// increments an unfinished count, consumers call task_done(n) after
+// *processing* (not merely popping) n items, and wait_idle() blocks
+// until every pushed item has been fully processed — which is what lets
+// drain() distinguish "queue empty" from "work finished".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace veridp {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : cap_(capacity ? capacity : 1) {}
+
+  /// Enqueues unless the queue is full or closed. Never blocks — the
+  /// caller (ingest shedding) decides what to do with a rejected item.
+  bool try_push(T v) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(std::move(v));
+      ++unfinished_;
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Pops up to `max` items into `out` (cleared first). Blocks until at
+  /// least one item is available or the queue is closed. Returns the
+  /// number popped; 0 means closed-and-empty (consumer should exit).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    const std::size_t n = q_.size() < max ? q_.size() : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return n;
+  }
+
+  /// Marks `n` previously popped items as fully processed.
+  void task_done(std::size_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    unfinished_ = n < unfinished_ ? unfinished_ - n : 0;
+    if (unfinished_ == 0) idle_.notify_all();
+  }
+
+  /// Blocks until every pushed item has been popped *and* task_done'd.
+  /// The caller must guarantee producers have stopped pushing, otherwise
+  /// "idle" is a moving target.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_.wait(lk, [this] { return unfinished_ == 0; });
+  }
+
+  /// Rejects future pushes and wakes all blocked consumers; already
+  /// queued items remain poppable so consumers drain before exiting.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Re-arms a closed queue (start after stop). Requires no live
+  /// consumers.
+  void open() {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = false;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable idle_;
+  std::deque<T> q_;
+  std::size_t cap_;
+  std::size_t unfinished_ = 0;  ///< pushed but not yet task_done'd
+  bool closed_ = false;
+};
+
+}  // namespace veridp

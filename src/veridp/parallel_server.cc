@@ -1,0 +1,331 @@
+#include "veridp/parallel_server.hpp"
+
+#include "dataplane/wire.hpp"
+#include "veridp/path_builder.hpp"
+
+namespace veridp {
+
+EpochTables EpochSnapshot::view() const {
+  EpochTables t;
+  t.epoch_checking = epoch_checking;
+  t.epoch = epoch;
+  t.table_valid_from = table_valid_from;
+  t.grace_window = grace_window;
+  t.current = current.get();
+  t.ring = ranges.data();
+  t.ring_size = ranges.size();
+  return t;
+}
+
+ParallelServer::ParallelServer(Controller& controller, ParallelConfig cfg,
+                               int tag_bits)
+    : controller_(&controller),
+      cfg_(cfg),
+      tag_bits_(tag_bits),
+      queue_(cfg.queue_capacity ? cfg.queue_capacity : 1),
+      failure_queue_(cfg.failure_keep > 64 ? cfg.failure_keep : 64) {
+  if (cfg_.high_watermark > cfg_.queue_capacity)
+    cfg_.high_watermark = cfg_.queue_capacity;
+  if (cfg_.shed_modulus == 0) cfg_.shed_modulus = 1;
+  if (cfg_.batch_size == 0) cfg_.batch_size = 1;
+  const std::size_t nshards = cfg_.shards ? cfg_.shards : 1;
+  shards_.reserve(nshards);
+  for (std::size_t i = 0; i < nshards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  controller_->subscribe(
+      [this](const RuleEvent& ev) { on_rule_event(ev); });
+}
+
+ParallelServer::~ParallelServer() { stop(); }
+
+void ParallelServer::enable_epoch_checking(std::size_t snapshot_ring,
+                                           std::uint32_t grace_window) {
+  epoch_checking_ = true;
+  ring_capacity_ = snapshot_ring;
+  grace_window_ = grace_window;
+}
+
+void ParallelServer::on_rule_event(const RuleEvent&) {
+  epoch_ = controller_->epoch();  // events arrive post-bump
+  if (!synced_) return;  // events before the first sync are folded into it
+  if (!dirty_) {
+    dirty_ = true;
+    dirty_from_ = epoch_;
+  }
+}
+
+void ParallelServer::rebuild_snapshot() {
+  const Topology& topo = controller_->topology();
+  // Fresh BDD arena per snapshot: every node the build creates lives in
+  // this new manager, so in-flight readers of previous snapshots never
+  // race with node-store growth. Each HeaderSet keeps its manager alive
+  // via shared_ptr, so the arena lives exactly as long as its table.
+  HeaderSpace space;
+  ConfigTransferProvider provider(space, topo,
+                                  controller_->logical_configs());
+  PathTableBuilder builder(space, topo, provider, tag_bits_);
+  auto table = std::make_shared<const PathTable>(builder.build());
+
+  auto next = std::make_shared<EpochSnapshot>();
+  next->epoch = epoch_;
+  next->table_valid_from = epoch_;
+  next->grace_window = grace_window_;
+  next->epoch_checking = epoch_checking_;
+  next->current = std::move(table);
+
+  // Retire the superseded table into the ring (same rule as
+  // Server::rebuild): reports sampled under epochs
+  // [prev valid-from, dirty_from_ - 1] are still in flight and must be
+  // judged against it.
+  const std::shared_ptr<const EpochSnapshot> prev =
+      snap_.load(std::memory_order_relaxed);
+  if (epoch_checking_ && prev && dirty_ &&
+      dirty_from_ > prev->table_valid_from) {
+    next->retained.push_back(prev->current);
+    next->ranges.push_back(
+        {prev->table_valid_from, dirty_from_ - 1, prev->current.get()});
+    for (std::size_t i = 0;
+         i < prev->ranges.size() && next->ranges.size() < ring_capacity_;
+         ++i) {
+      next->retained.push_back(prev->retained[i]);
+      next->ranges.push_back(prev->ranges[i]);
+    }
+  }
+
+  snap_.store(next, std::memory_order_release);  // the publication point
+  dirty_ = false;
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ParallelServer::sync() {
+  epoch_ = controller_->epoch();
+  rebuild_snapshot();
+  synced_ = true;
+}
+
+void ParallelServer::publish() {
+  if (!synced_) {
+    sync();
+    return;
+  }
+  if (dirty_) rebuild_snapshot();
+}
+
+unsigned ParallelServer::worker_count() const {
+  if (cfg_.workers) return cfg_.workers;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+ParallelServer::StreamTotals ParallelServer::verify_stream(
+    const std::vector<TagReport>& reports, unsigned workers) {
+  publish();
+  const std::shared_ptr<const EpochSnapshot> snap = snapshot();
+  unsigned n = workers ? workers : worker_count();
+  if (!reports.empty() && reports.size() < n)
+    n = static_cast<unsigned>(reports.size());
+  if (n == 0) n = 1;
+
+  std::vector<StreamTotals> parts(n);
+  const std::size_t chunk = reports.empty() ? 0 : (reports.size() + n - 1) / n;
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    pool.emplace_back([&reports, &parts, &snap, chunk, w] {
+      const EpochTables tables = snap->view();
+      StreamTotals& t = parts[w];
+      const std::size_t lo = static_cast<std::size_t>(w) * chunk;
+      const std::size_t hi =
+          lo + chunk < reports.size() ? lo + chunk : reports.size();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Verdict v = verify_epoch_aware(reports[i], tables);
+        ++t.verified;
+        if (v.ok())
+          ++t.passed;
+        else if (v.status == VerifyStatus::kStaleEpoch)
+          ++t.stale;
+        else
+          ++t.failed;
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  StreamTotals total;
+  for (const StreamTotals& p : parts) {
+    total.verified += p.verified;
+    total.passed += p.passed;
+    total.failed += p.failed;
+    total.stale += p.stale;
+  }
+  return total;
+}
+
+void ParallelServer::start() {
+  if (running()) return;
+  if (!synced_) sync();
+  queue_.open();
+  failure_queue_.open();
+  const unsigned n = worker_count();
+  // Stats persist across start/stop cycles so health() stays cumulative.
+  while (worker_stats_.size() < n)
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    WorkerStats& ws = *worker_stats_[i];
+    workers_.emplace_back([this, &ws] { worker_loop(ws); });
+  }
+  failure_consumer_ = std::thread([this] { failure_loop(); });
+}
+
+void ParallelServer::count_shed(Shard& sh) {
+  std::lock_guard<std::mutex> lk(sh.mu);
+  ++sh.shed;
+}
+
+bool ParallelServer::submit(const TagReport& report) {
+  Shard& sh = shard_for(report.outport.sw);
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    ++sh.received;
+    if (report.seq != 0 &&
+        !sh.seq.try_emplace(report.outport.sw, cfg_.dedup_window)
+             .first->second.note(report.seq)) {
+      ++sh.deduped;
+      return false;
+    }
+  }
+  // Shed checks run outside the shard lock — the queue has its own
+  // synchronization and the depth reading is advisory anyway.
+  const std::size_t depth = queue_.size();
+  if (depth >= cfg_.queue_capacity) {
+    count_shed(sh);
+    return false;
+  }
+  if (depth >= cfg_.high_watermark &&
+      report.seq % cfg_.shed_modulus != 0) {
+    count_shed(sh);
+    return false;
+  }
+  if (!queue_.try_push(report)) {
+    count_shed(sh);
+    return false;
+  }
+  return true;
+}
+
+bool ParallelServer::submit_datagram(
+    const std::vector<std::uint8_t>& datagram) {
+  const auto report = wire::decode_report(datagram);
+  if (!report) {
+    Shard& sh = *shards_.front();  // malformed payloads name no switch
+    {
+      std::lock_guard<std::mutex> lk(sh.mu);
+      ++sh.received;
+      ++sh.quarantined;
+    }
+    std::lock_guard<std::mutex> qk(quarantine_mu_);
+    quarantine_.push_back(datagram);
+    if (quarantine_.size() > cfg_.quarantine_keep) quarantine_.pop_front();
+    return false;
+  }
+  return submit(*report);
+}
+
+void ParallelServer::worker_loop(WorkerStats& ws) {
+  std::vector<TagReport> batch;
+  batch.reserve(cfg_.batch_size);
+  for (;;) {
+    const std::size_t n = queue_.pop_batch(batch, cfg_.batch_size);
+    if (n == 0) return;  // closed and drained
+    // The whole RCU read side is this one acquire load per batch;
+    // everything behind the pointer is immutable. Epoch-stale reports
+    // in the batch still verify against their own epoch via the ring.
+    const std::shared_ptr<const EpochSnapshot> snap = snapshot();
+    const EpochTables tables = snap->view();
+    for (const TagReport& r : batch) {
+      const Verdict v = verify_epoch_aware(r, tables);
+      ws.verified.fetch_add(1, std::memory_order_relaxed);
+      if (v.ok()) {
+        ws.passed.fetch_add(1, std::memory_order_relaxed);
+      } else if (v.status == VerifyStatus::kStaleEpoch) {
+        ws.stale.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ws.failed.fetch_add(1, std::memory_order_relaxed);
+        // Hand the mismatch to the localization stage. Bounded: if the
+        // stage is hopelessly behind, overflow mismatches are dropped
+        // (they are still counted in `failed`).
+        failure_queue_.try_push(r);
+      }
+    }
+    queue_.task_done(n);
+  }
+}
+
+void ParallelServer::failure_loop() {
+  std::vector<TagReport> batch;
+  for (;;) {
+    const std::size_t n = failure_queue_.pop_batch(batch, 16);
+    if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lk(failures_mu_);
+      for (const TagReport& r : batch) {
+        failures_.push_back(r);
+        if (failures_.size() > cfg_.failure_keep) failures_.pop_front();
+      }
+    }
+    failure_queue_.task_done(n);
+  }
+}
+
+void ParallelServer::drain() {
+  // Workers push to the failure queue before task_done on the report
+  // queue, so once the report queue is idle every mismatch is already
+  // inside the failure queue; waiting on it second closes the pipeline.
+  queue_.wait_idle();
+  failure_queue_.wait_idle();
+}
+
+void ParallelServer::stop() {
+  if (workers_.empty() && !failure_consumer_.joinable()) return;
+  queue_.close();  // workers drain the remaining items, then exit
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  failure_queue_.close();
+  if (failure_consumer_.joinable()) failure_consumer_.join();
+}
+
+ParallelHealth ParallelServer::health() const {
+  ParallelHealth h;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->mu);
+    h.received += shard->received;
+    h.deduped += shard->deduped;
+    h.shed += shard->shed;
+    h.quarantined += shard->quarantined;
+    for (const auto& [sw, tracker] : shard->seq)
+      h.lost_estimate += tracker.lost_estimate();
+  }
+  for (const auto& ws : worker_stats_) {
+    h.verified += ws->verified.load(std::memory_order_relaxed);
+    h.passed += ws->passed.load(std::memory_order_relaxed);
+    h.failed += ws->failed.load(std::memory_order_relaxed);
+    h.stale += ws->stale.load(std::memory_order_relaxed);
+  }
+  return h;
+}
+
+std::vector<TagReport> ParallelServer::take_failures() {
+  std::lock_guard<std::mutex> lk(failures_mu_);
+  std::vector<TagReport> out(failures_.begin(), failures_.end());
+  failures_.clear();
+  return out;
+}
+
+LocalizeResult ParallelServer::localize(const TagReport& report) const {
+  Localizer localizer(controller_->topology(),
+                      controller_->logical_configs());
+  return localizer.infer(report);
+}
+
+}  // namespace veridp

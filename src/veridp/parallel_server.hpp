@@ -1,0 +1,252 @@
+// Multi-threaded verification server — the paper closes §6.4 with "the
+// verification is still single-threaded without optimization, we expect
+// a higher throughput with multi-threading in the future"; this is that
+// future. Architecture (DESIGN.md §6):
+//
+//   producers ──► sharded per-switch ingest ──► bounded MPMC queue
+//   (any thread)  (dedup + shed, shard lock)     │ batch dequeue
+//                                                ▼
+//                             N workers, each: load snapshot (atomic
+//                             shared_ptr), verify_epoch_aware per report,
+//                             per-worker counters (merged on read)
+//                                                │ mismatches
+//                                                ▼
+//                             single-consumer localization stage
+//
+// Snapshot publication (RCU-style): the path table plus the ring of
+// retired tables live in one immutable EpochSnapshot published through
+// an atomic shared_ptr swap. Readers take no lock — they load the
+// pointer once per batch and verify against frozen state; a concurrent
+// publish() builds the *next* snapshot in a **fresh BDD arena** (its own
+// HeaderSpace), so table construction never mutates nodes a reader is
+// evaluating, then swaps the pointer. Old snapshots stay alive until the
+// last in-flight batch drops its reference. This subsumes the sequential
+// Server's snapshot ring: epoch-stale reports verify against the table
+// of the epoch they were stamped under, without locking the hot path.
+//
+// Equivalence guarantee: verification classification is the shared
+// verify_epoch_aware (verifier.hpp) — the same function the sequential
+// Server runs — so verify_stream()'s merged verdict totals are
+// bit-identical to a sequential Server fed the same reports under the
+// same epoch history. The stress tests assert this exactly.
+//
+// Threading contract:
+//   * control-plane side (ctor, sync, publish, rule events via the
+//     controller, localize, take_failures) — ONE thread;
+//   * data-plane side (submit, submit_datagram) — any number of
+//     producer threads, concurrently with workers and with publish();
+//   * health() — any thread, merges per-shard/per-worker counters.
+//
+// Only Server::Mode::kFullRebuild semantics are supported: kIncremental
+// mutates its table in place, which is incompatible with lock-free
+// snapshot readers (the sequential Server keeps the grace-window rule
+// for that mode).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/controller.hpp"
+#include "veridp/localizer.hpp"
+#include "veridp/mpmc_queue.hpp"
+#include "veridp/seq_tracker.hpp"
+#include "veridp/verifier.hpp"
+
+namespace veridp {
+
+struct ParallelConfig {
+  unsigned workers = 0;              ///< 0 = hardware_concurrency
+  std::size_t queue_capacity = 4096; ///< hard bound on the report queue
+  std::size_t high_watermark = 3072; ///< shedding starts above this
+  std::uint32_t shed_modulus = 4;    ///< keep seq % modulus == 0 when shedding
+  std::size_t batch_size = 32;       ///< reports per worker dequeue
+  std::size_t shards = 16;           ///< per-switch ingest shards
+  std::size_t dedup_window = 4096;   ///< remembered seqs per switch
+  std::size_t failure_keep = 256;    ///< mismatched reports retained
+  std::size_t quarantine_keep = 16;  ///< malformed payloads retained
+};
+
+/// Merged health counters (the parallel analogue of IngestHealth). Every
+/// submitted report lands in exactly one bucket once drained:
+///   passed + failed + stale + shed + quarantined + deduped == received.
+struct ParallelHealth {
+  std::uint64_t received = 0;
+  std::uint64_t verified = 0;  ///< == passed + failed + stale
+  std::uint64_t passed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t lost_estimate = 0;
+
+  [[nodiscard]] std::uint64_t accounted() const {
+    return passed + failed + stale + shed + quarantined + deduped;
+  }
+};
+
+/// One immutable published unit: the current table, the retired ring and
+/// the epoch bookkeeping verify_epoch_aware needs. Never mutated after
+/// publication; destroyed when the last reader drops its shared_ptr.
+struct EpochSnapshot {
+  std::uint32_t epoch = 0;
+  std::uint32_t table_valid_from = 0;
+  std::uint32_t grace_window = 64;
+  bool epoch_checking = false;
+  std::shared_ptr<const PathTable> current;
+  /// Retired tables kept alive for the ring (newest first, parallel to
+  /// `ranges`).
+  std::vector<std::shared_ptr<const PathTable>> retained;
+  std::vector<EpochTables::Range> ranges;
+
+  [[nodiscard]] EpochTables view() const;
+};
+
+class ParallelServer {
+ public:
+  /// Verdict totals of one verify_stream call. Bit-identical to the
+  /// pass/fail/stale counters a sequential Server accumulates over the
+  /// same reports.
+  struct StreamTotals {
+    std::uint64_t verified = 0;
+    std::uint64_t passed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t stale = 0;
+  };
+
+  /// Subscribes to `controller`'s rule events (controller must outlive
+  /// the server and mutate only from the control thread).
+  explicit ParallelServer(Controller& controller, ParallelConfig cfg = {},
+                          int tag_bits = BloomTag::kDefaultBits);
+  ~ParallelServer();
+  ParallelServer(const ParallelServer&) = delete;
+  ParallelServer& operator=(const ParallelServer&) = delete;
+
+  /// Same opt-in as Server::enable_epoch_checking: retire up to
+  /// `snapshot_ring` superseded tables and judge uncovered recent epochs
+  /// with the grace-window rule. Call before sync().
+  void enable_epoch_checking(std::size_t snapshot_ring = 8,
+                             std::uint32_t grace_window = 64);
+
+  /// Builds and publishes the first snapshot.
+  void sync();
+
+  /// Publishes a fresh snapshot if rule events arrived since the last
+  /// one (lazy, like Server's dirty rebuild). Safe while workers run —
+  /// that is the point.
+  void publish();
+
+  /// Verifies `reports` across `workers` threads (0 = configured count)
+  /// against the currently published snapshot and returns merged totals.
+  /// Bypasses ingest (no dedup/shedding) — this is the pure verification
+  /// fan-out; its totals match a sequential Server::verify loop exactly.
+  StreamTotals verify_stream(const std::vector<TagReport>& reports,
+                             unsigned workers = 0);
+
+  // -- Streaming mode -------------------------------------------------------
+  /// Launches the worker pool and the localization-stage consumer.
+  void start();
+  /// Offers one decoded report: sharded dedup → shed check → queue.
+  /// Returns true iff enqueued for verification. Thread-safe.
+  bool submit(const TagReport& report);
+  /// Offers one encoded datagram (decode failures are quarantined).
+  bool submit_datagram(const std::vector<std::uint8_t>& datagram);
+  /// Blocks until every submitted report has been verified and every
+  /// mismatch has cleared the localization stage. Producers must be
+  /// quiescent.
+  void drain();
+  /// drain() + joins the pool. Idempotent; start() may be called again.
+  void stop();
+
+  [[nodiscard]] ParallelHealth health() const;
+
+  /// Drains the mismatches the localization stage retained (bounded by
+  /// failure_keep). Control thread only.
+  std::vector<TagReport> take_failures();
+
+  /// Runs Algorithm 4 for a failed report against the controller's
+  /// *current* logical config. Control thread only, config quiescent.
+  [[nodiscard]] LocalizeResult localize(const TagReport& report) const;
+
+  [[nodiscard]] std::shared_ptr<const EpochSnapshot> snapshot() const {
+    return snap_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
+  [[nodiscard]] bool epoch_checking() const { return epoch_checking_; }
+  [[nodiscard]] std::uint64_t snapshots_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] bool running() const { return !workers_.empty(); }
+  [[nodiscard]] unsigned worker_count() const;
+  [[nodiscard]] int tag_bits() const { return tag_bits_; }
+
+ private:
+  /// Per-worker verdict counters, cacheline-separated so workers never
+  /// share a line; merged (relaxed loads) by health().
+  struct alignas(64) WorkerStats {
+    std::atomic<std::uint64_t> verified{0};
+    std::atomic<std::uint64_t> passed{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> stale{0};
+  };
+
+  /// Per-switch-shard ingest state. Producers for different switches
+  /// hash to different shards and never contend.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SwitchId, SeqTracker> seq;
+    std::uint64_t received = 0;
+    std::uint64_t deduped = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t quarantined = 0;
+  };
+
+  void on_rule_event(const RuleEvent& ev);
+  void rebuild_snapshot();
+  Shard& shard_for(SwitchId sw) {
+    return *shards_[static_cast<std::size_t>(sw) % shards_.size()];
+  }
+  void count_shed(Shard& sh);
+  void worker_loop(WorkerStats& ws);
+  void failure_loop();
+
+  Controller* controller_;
+  ParallelConfig cfg_;
+  int tag_bits_;
+
+  // Control-plane state (single control thread).
+  bool synced_ = false;
+  bool dirty_ = false;
+  bool epoch_checking_ = false;
+  std::size_t ring_capacity_ = 8;
+  std::uint32_t grace_window_ = 64;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t dirty_from_ = 0;  ///< epoch of the first event since clean
+
+  // Published state (read lock-free by workers).
+  std::atomic<std::shared_ptr<const EpochSnapshot>> snap_;
+  std::atomic<std::uint64_t> published_{0};
+
+  // Data-plane pipeline.
+  BoundedMpmcQueue<TagReport> queue_;
+  BoundedMpmcQueue<TagReport> failure_queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
+  std::vector<std::thread> workers_;
+  std::thread failure_consumer_;
+
+  // Localization-stage output + quarantine (cold paths, mutex-guarded).
+  mutable std::mutex failures_mu_;
+  std::deque<TagReport> failures_;
+  mutable std::mutex quarantine_mu_;
+  std::deque<std::vector<std::uint8_t>> quarantine_;
+};
+
+}  // namespace veridp

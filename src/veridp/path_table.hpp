@@ -8,6 +8,16 @@
 // construction (Algorithm 2 partitions the header space at every branch),
 // which is what makes Algorithm 3's first-header-match verification
 // sound; a debug checker (`disjoint_headers`) asserts it in tests.
+//
+// Thread-safety: a fully built PathTable read through its const
+// interface — lookup, stats, for_each, outports, empty — is immutable
+// and race-free for any number of concurrent verification threads (the
+// HeaderSets it hands out obey the membership-side contract in
+// header_set.hpp). The mutators (add_path, erase_inport, remove_path,
+// clear) and `disjoint_headers` (which runs BDD set algebra on the
+// shared manager) require exclusive access to the table AND its
+// HeaderSpace. The parallel server never mutates a published table; it
+// builds a replacement in a fresh space and swaps pointers.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,65 @@
+// Per-switch sequence-number bookkeeping: duplicate suppression over a
+// bounded window plus a span-based loss estimate.
+//
+// Factored out of ReportIngest so the sequential ingest and the
+// ParallelServer's per-switch ingest shards share one definition of
+// "duplicate" and "lost" — the oracle-equality stress tests depend on
+// both paths agreeing exactly, whichever thread a report arrives on.
+//
+// Not internally synchronized: the sequential ingest is single-threaded
+// and the parallel ingest holds its shard lock around every call.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace veridp {
+
+class SeqTracker {
+ public:
+  /// `window` bounds how many sequence numbers are remembered for
+  /// duplicate detection (older ones are forgotten FIFO).
+  explicit SeqTracker(std::size_t window) : window_(window ? window : 1) {}
+
+  /// Records one observed sequence number. Returns false iff it is a
+  /// duplicate of a remembered one.
+  bool note(std::uint32_t seq) {
+    if (!seen_.insert(seq).second) return false;
+    order_.push_back(seq);
+    if (order_.size() > window_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    if (unique_ == 0) {
+      min_seq_ = max_seq_ = seq;
+    } else {
+      if (seq < min_seq_) min_seq_ = seq;
+      if (seq > max_seq_) max_seq_ = seq;
+    }
+    ++unique_;
+    return true;
+  }
+
+  /// Sequence numbers start at 1 per switch, so the span [min, max] of
+  /// observed seqs minus the unique count is a lower bound on channel
+  /// loss (tail losses after max are invisible; corrupted datagrams
+  /// surface here too since their seq never arrives intact).
+  [[nodiscard]] std::uint64_t lost_estimate() const {
+    if (unique_ == 0) return 0;
+    const std::uint64_t span = max_seq_ - min_seq_ + 1ull;
+    return span > unique_ ? span - unique_ : 0;
+  }
+
+  [[nodiscard]] std::uint64_t unique() const { return unique_; }
+
+ private:
+  std::unordered_set<std::uint32_t> seen_;
+  std::deque<std::uint32_t> order_;  ///< eviction order for `seen_`
+  std::size_t window_;
+  std::uint32_t min_seq_ = 0;
+  std::uint32_t max_seq_ = 0;
+  std::uint64_t unique_ = 0;
+};
+
+}  // namespace veridp

@@ -49,6 +49,9 @@ void Server::rebuild() {
       ring_.push_front(
           {table_valid_from_, dirty_from_ - 1, std::move(full_table_)});
       while (ring_.size() > ring_capacity_) ring_.pop_back();
+      ring_view_.clear();
+      for (const Snapshot& s : ring_)
+        ring_view_.push_back({s.first_epoch, s.last_epoch, &s.table});
     }
     ConfigTransferProvider provider(space_, topo,
                                     controller_->logical_configs());
@@ -82,44 +85,29 @@ const PathTable& Server::table() {
 
 PathTableStats Server::stats() { return table().stats(); }
 
-const PathTable* Server::table_for_epoch(std::uint32_t e) const {
-  if (e >= table_valid_from_) return &current_table();
-  for (const Snapshot& s : ring_)
-    if (s.first_epoch <= e && e <= s.last_epoch) return &s.table;
-  return nullptr;
+EpochTables Server::epoch_tables() const {
+  EpochTables t;
+  t.epoch_checking = epoch_checking_;
+  t.epoch = epoch_;
+  t.table_valid_from = table_valid_from_;
+  t.grace_window = grace_window_;
+  t.current = &current_table();
+  t.ring = ring_view_.data();
+  t.ring_size = ring_view_.size();
+  return t;
 }
 
 Verdict Server::verify(const TagReport& report) {
   ensure_fresh();
   ++verified_;
-  if (!epoch_checking_) {
-    Verdict v = Verifier::check(report, current_table());
-    v.epoch = table_valid_from_;
-    if (v.ok()) ++passed_; else ++failed_;
-    return v;
-  }
-
-  if (const PathTable* tbl = table_for_epoch(report.epoch)) {
-    Verdict v = Verifier::check(report, *tbl);
-    if (v.ok()) ++passed_; else ++failed_;
-    return v;
-  }
-
-  // No table covers the report's epoch (kIncremental mode, a snapshot
-  // that aged out, or an epoch that fell between two lazy rebuilds).
-  // Within the grace window the report gets a chance against the current
-  // table — a pass is conclusive (the current config admits exactly this
-  // path), a failure is not (the path may have been correct under the
-  // sampling-time config), so it is classified stale, never failed.
-  if (epoch_ - report.epoch <= grace_window_) {
-    Verdict v = Verifier::check(report, current_table());
-    if (v.ok()) {
-      ++passed_;
-      return v;
-    }
-  }
-  ++stale_;
-  return Verdict{VerifyStatus::kStaleEpoch, nullptr, report.epoch};
+  const Verdict v = verify_epoch_aware(report, epoch_tables());
+  if (v.ok())
+    ++passed_;
+  else if (v.status == VerifyStatus::kStaleEpoch)
+    ++stale_;
+  else
+    ++failed_;
+  return v;
 }
 
 LocalizeResult Server::localize(const TagReport& report) const {

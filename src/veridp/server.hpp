@@ -25,6 +25,7 @@
 
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "controller/controller.hpp"
 #include "veridp/incremental.hpp"
@@ -102,8 +103,10 @@ class Server {
   void rebuild();
   void ensure_fresh();
   [[nodiscard]] const PathTable& current_table() const;
-  /// The table for a report's epoch, or nullptr if none is retained.
-  [[nodiscard]] const PathTable* table_for_epoch(std::uint32_t e) const;
+  /// View of the epoch → table state consumed by verify_epoch_aware
+  /// (the classification shared with ParallelServer). Requires
+  /// ensure_fresh() to have run.
+  [[nodiscard]] EpochTables epoch_tables() const;
 
   Controller* controller_;
   Mode mode_;
@@ -123,6 +126,9 @@ class Server {
   std::uint32_t table_valid_from_ = 0;
   std::uint32_t dirty_from_ = 0;  ///< epoch of the first event since clean
   std::deque<Snapshot> ring_;     ///< newest first
+  /// Cached non-owning view of `ring_` (refreshed on rebuild) so each
+  /// verify() builds its EpochTables without allocating.
+  std::vector<EpochTables::Range> ring_view_;
 
   // Health counters.
   std::uint64_t verified_ = 0;

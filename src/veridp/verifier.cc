@@ -25,6 +25,37 @@ Verdict Verifier::check(const TagReport& report, const PathTable& table) {
   return Verdict{VerifyStatus::kNoPath, nullptr, report.epoch};
 }
 
+const PathTable* EpochTables::for_epoch(std::uint32_t e) const {
+  if (e >= table_valid_from) return current;
+  for (std::size_t i = 0; i < ring_size; ++i)
+    if (ring[i].first_epoch <= e && e <= ring[i].last_epoch)
+      return ring[i].table;
+  return nullptr;
+}
+
+Verdict verify_epoch_aware(const TagReport& report, const EpochTables& t) {
+  if (!t.epoch_checking) {
+    Verdict v = Verifier::check(report, *t.current);
+    v.epoch = t.table_valid_from;
+    return v;
+  }
+
+  if (const PathTable* tbl = t.for_epoch(report.epoch))
+    return Verifier::check(report, *tbl);
+
+  // No table covers the report's epoch (a snapshot that aged out, or an
+  // epoch that fell between two lazy rebuilds). Within the grace window
+  // the report gets a chance against the current table — a pass is
+  // conclusive (the current config admits exactly this path), a failure
+  // is not (the path may have been correct under the sampling-time
+  // config), so it is classified stale, never failed.
+  if (t.epoch - report.epoch <= t.grace_window) {
+    Verdict v = Verifier::check(report, *t.current);
+    if (v.ok()) return v;
+  }
+  return Verdict{VerifyStatus::kStaleEpoch, nullptr, report.epoch};
+}
+
 Verdict Verifier::verify(const TagReport& report) {
   ++total_;
   const Verdict v = check(report, *table_);

@@ -9,8 +9,16 @@
 // Soundness note (§6.3): a consistent data plane always passes — there
 // are no false positives. False negatives require both (1) arrival at the
 // correct destination port and (2) a Bloom-filter tag collision.
+//
+// Thread-safety: verification is a pure read — `Verifier::check` and
+// `verify_epoch_aware` touch only const PathTable lookups, BDD
+// membership evaluation and tag comparison, all race-free on immutable
+// tables (see the contracts in path_table.hpp / header_set.hpp /
+// bdd.hpp). Any number of threads may verify against the same table(s)
+// concurrently; this is what the ParallelServer workers rely on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "dataplane/packet.hpp"
@@ -45,6 +53,41 @@ struct Verdict {
            status == VerifyStatus::kTagMismatch;
   }
 };
+
+/// A non-owning view of "which path table verifies which config epoch":
+/// the current table, the ring of retired tables (newest first) and the
+/// grace window. Both the sequential Server and the ParallelServer's
+/// published EpochSnapshot expose their state through this view and run
+/// reports through the single `verify_epoch_aware` below — which is what
+/// makes the two servers' verdicts bit-identical on the same input by
+/// construction, not by parallel maintenance of two copies of the logic.
+struct EpochTables {
+  struct Range {
+    std::uint32_t first_epoch = 0;  ///< valid range, inclusive
+    std::uint32_t last_epoch = 0;
+    const PathTable* table = nullptr;
+  };
+
+  bool epoch_checking = false;
+  std::uint32_t epoch = 0;             ///< latest observed config epoch
+  std::uint32_t table_valid_from = 0;  ///< current table's first epoch
+  std::uint32_t grace_window = 0;
+  const PathTable* current = nullptr;
+  const Range* ring = nullptr;  ///< retired tables, newest first
+  std::size_t ring_size = 0;
+
+  /// The table covering epoch `e`, or nullptr if none is retained.
+  [[nodiscard]] const PathTable* for_epoch(std::uint32_t e) const;
+};
+
+/// Epoch-aware Algorithm 3: selects the table by the report's epoch
+/// stamp (ring lookup, then the grace-window rule — a stale report may
+/// still pass against the current table but never fail, see server.hpp).
+/// With epoch_checking off it degenerates to plain `Verifier::check`
+/// against the current table. Pure read; safe to call concurrently from
+/// any number of threads over the same EpochTables.
+[[nodiscard]] Verdict verify_epoch_aware(const TagReport& report,
+                                         const EpochTables& tables);
 
 class Verifier {
  public:

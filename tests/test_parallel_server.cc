@@ -1,0 +1,371 @@
+// Parallel verification server (DESIGN.md §6).
+//
+// The load-bearing property is EQUIVALENCE: however many producer and
+// worker threads run, the merged verdict totals must be bit-identical to
+// a single-threaded Server fed the identical report sequence — the
+// paper's verification semantics (Algorithm 3 + the epoch rules) must
+// not change when the execution becomes concurrent. Every test here also
+// doubles as a race detector target: the whole binary carries the
+// `concurrency` ctest label and runs under the TSan preset.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "controller/routing.hpp"
+#include "dataplane/fault.hpp"
+#include "dataplane/network.hpp"
+#include "testutil.hpp"
+#include "veridp/channel.hpp"
+#include "veridp/ingest.hpp"
+#include "veridp/parallel_server.hpp"
+#include "veridp/server.hpp"
+#include "veridp/workload.hpp"
+
+namespace veridp {
+namespace {
+
+/// One deployment shared by a sequential oracle and a parallel server:
+/// both subscribe to the same controller, so they see the same epoch
+/// history and build path tables from the same logical configs.
+struct Rig {
+  Topology topo;
+  Controller controller;
+  Network net;
+
+  explicit Rig(Topology t)
+      : topo(std::move(t)), controller(topo), net(topo) {}
+
+  void install_and_deploy() {
+    routing::install_shortest_paths(controller);
+    controller.deploy(net);
+    net.set_config_epoch(controller.epoch());
+  }
+
+  /// Injects the full ping matrix once and returns the emitted reports.
+  std::vector<TagReport> collect_reports(double t = 0.0) {
+    std::vector<TagReport> out;
+    for (const auto& f : workload::ping_all(topo)) {
+      const auto r = net.inject(f.header, f.entry, t);
+      out.insert(out.end(), r.reports.begin(), r.reports.end());
+    }
+    return out;
+  }
+};
+
+struct SeqTotals {
+  std::uint64_t verified = 0, passed = 0, failed = 0, stale = 0;
+};
+
+SeqTotals run_oracle(Server& server, const std::vector<TagReport>& reports) {
+  SeqTotals t;
+  for (const TagReport& r : reports) {
+    const Verdict v = server.verify(r);
+    ++t.verified;
+    if (v.ok())
+      ++t.passed;
+    else if (v.status == VerifyStatus::kStaleEpoch)
+      ++t.stale;
+    else
+      ++t.failed;
+  }
+  return t;
+}
+
+TEST(ParallelServer, StreamTotalsBitIdenticalToSequential) {
+  Rig rig(fat_tree(4));
+  Server oracle(rig.controller, Server::Mode::kFullRebuild);
+  ParallelConfig cfg;
+  cfg.workers = 4;
+  ParallelServer parallel(rig.controller, cfg);
+  rig.install_and_deploy();
+  oracle.sync();
+  parallel.sync();
+
+  // Consistent reports, then a faulty switch so the stream carries real
+  // mismatches (both kTagMismatch and kNoPath verdicts), then garbage
+  // ports so kNoPath is definitely exercised.
+  std::vector<TagReport> reports = rig.collect_reports();
+  const std::size_t clean = reports.size();
+  ASSERT_GT(clean, 0u);
+
+  FaultInjector inject(rig.net);
+  const SwitchId victim = reports.front().inport.sw;
+  const auto& rules = rig.net.at(victim).config().table.rules();
+  ASSERT_FALSE(rules.empty());
+  inject.rewrite_rule_output(victim, rules.front().id,
+                             rules.front().action.out == 1 ? 2 : 1);
+  const std::vector<TagReport> faulty = rig.collect_reports();
+  reports.insert(reports.end(), faulty.begin(), faulty.end());
+
+  TagReport bogus = reports.front();
+  bogus.outport = bogus.inport;  // no path enters and exits the same port
+  reports.push_back(bogus);
+
+  const ParallelServer::StreamTotals par = parallel.verify_stream(reports, 4);
+  const SeqTotals seq = run_oracle(oracle, reports);
+
+  EXPECT_EQ(par.verified, seq.verified);
+  EXPECT_EQ(par.passed, seq.passed);
+  EXPECT_EQ(par.failed, seq.failed);
+  EXPECT_EQ(par.stale, seq.stale);
+  EXPECT_GT(par.failed, 0u) << "the fault must be visible in the stream";
+  EXPECT_GE(par.passed, clean) << "clean reports all pass";
+}
+
+TEST(ParallelServer, StreamTotalsMatchAcrossEpochRing) {
+  Rig rig(fat_tree(4));
+  Server oracle(rig.controller, Server::Mode::kFullRebuild);
+  oracle.enable_epoch_checking(/*snapshot_ring=*/8, /*grace_window=*/64);
+  ParallelConfig cfg;
+  cfg.workers = 4;
+  ParallelServer parallel(rig.controller, cfg);
+  parallel.enable_epoch_checking(/*snapshot_ring=*/8, /*grace_window=*/64);
+  rig.install_and_deploy();
+  oracle.sync();
+  parallel.sync();
+
+  // Phase A reports are stamped with the pre-update epoch.
+  std::vector<TagReport> reports = rig.collect_reports();
+  const std::uint32_t old_epoch = rig.controller.epoch();
+
+  // Config churn: blackhole two subnets, redeploy, sample again. The
+  // old-epoch reports now straddle the rebuild and must be judged
+  // against the retired table (ring), not the current one.
+  const auto& subnets = rig.topo.subnets();
+  ASSERT_GE(subnets.size(), 2u);
+  for (int i = 0; i < 2; ++i) {
+    const auto& [dst_port, subnet] = subnets[static_cast<std::size_t>(i)];
+    rig.controller.add_rule(dst_port.sw, 7000 + i, Match::dst_prefix(subnet),
+                            Action::drop());
+  }
+  rig.controller.deploy(rig.net);
+  rig.net.set_config_epoch(rig.controller.epoch());
+  ASSERT_GT(rig.controller.epoch(), old_epoch);
+
+  const std::vector<TagReport> fresh = rig.collect_reports(/*t=*/1.0);
+  reports.insert(reports.end(), fresh.begin(), fresh.end());
+
+  const ParallelServer::StreamTotals par = parallel.verify_stream(reports, 4);
+  const SeqTotals seq = run_oracle(oracle, reports);
+
+  EXPECT_EQ(par.verified, seq.verified);
+  EXPECT_EQ(par.passed, seq.passed);
+  EXPECT_EQ(par.failed, seq.failed);
+  EXPECT_EQ(par.stale, seq.stale);
+  EXPECT_EQ(par.failed, 0u)
+      << "a consistent plane never fails, whatever the epoch timing";
+  EXPECT_GE(parallel.snapshot()->ranges.size(), 1u)
+      << "the retired table must be in the published ring";
+}
+
+// The satellite stress test: N producer threads × M workers over a
+// chaos-channel stream (duplication, reordering, corruption, loss, plus
+// a real switch fault and config churn), asserting the merged verdict
+// AND health counters exactly match the single-threaded stack
+// (Server + ReportIngest) on the identical datagram sequence.
+TEST(ParallelServer, ChaosStreamProducersWorkersMatchSequentialOracle) {
+  constexpr unsigned kProducers = 4;
+  constexpr unsigned kWorkers = 4;
+
+  Rig rig(fat_tree(4));
+  Server oracle_server(rig.controller, Server::Mode::kFullRebuild);
+  oracle_server.enable_epoch_checking();
+  ParallelConfig cfg;
+  cfg.workers = kWorkers;
+  cfg.queue_capacity = 1 << 16;  // no shedding: shed decisions are
+  cfg.high_watermark = 1 << 16;  // timing-dependent, tested separately
+  cfg.shards = 8;
+  cfg.dedup_window = 1 << 16;
+  cfg.failure_keep = 1 << 16;
+  ParallelServer parallel(rig.controller, cfg);
+  parallel.enable_epoch_checking();
+  rig.install_and_deploy();
+  oracle_server.sync();
+  parallel.sync();
+
+  ChannelConfig ccfg;
+  ccfg.drop_rate = 0.05;
+  ccfg.dup_rate = 0.10;
+  ccfg.reorder_rate = 0.15;
+  ccfg.delay_rate = 0.05;
+  ccfg.corrupt_rate = 0.05;
+  ccfg.seed = 0xfeedULL;
+  ReportChannel channel(ccfg);
+
+  FaultInjector inject(rig.net);
+  const auto flows = workload::ping_all(rig.topo);
+  const auto& subnets = rig.topo.subnets();
+  for (int round = 0; round < 3; ++round) {
+    if (round == 0) {
+      // A real switch fault in the first round: its reports carry the
+      // sync-time epoch, which the retired ring table covers, so the
+      // mismatches are judged definitively (later-epoch reports fall
+      // into the pass-only grace window and would go stale instead).
+      const SwitchId sw = flows.front().entry.sw;
+      const auto& rules = rig.net.at(sw).config().table.rules();
+      ASSERT_FALSE(rules.empty());
+      inject.rewrite_rule_output(sw, rules.front().id,
+                                 rules.front().action.out == 1 ? 2 : 1);
+    }
+    for (const auto& f : flows) {
+      const auto r = rig.net.inject(f.header, f.entry, /*t=*/round);
+      for (const TagReport& rep : r.reports) channel.send(rep);
+    }
+    // Config churn between rounds, while datagrams sit in the channel.
+    const auto& [dst_port, subnet] = subnets[static_cast<std::size_t>(round)];
+    rig.controller.add_rule(dst_port.sw, 8000 + round,
+                            Match::dst_prefix(subnet), Action::drop());
+    rig.controller.deploy(rig.net);
+    rig.net.set_config_epoch(rig.controller.epoch());
+  }
+
+  // One deterministic capture, replayed through both stacks.
+  const std::vector<std::vector<std::uint8_t>> datagrams =
+      channel.drain_all();
+  ASSERT_GT(datagrams.size(), 0u);
+
+  // The oracle Server rebuilds lazily inside verify(); the parallel
+  // server's control plane must publish explicitly after churn — the
+  // RCU snapshot never refreshes behind the workers' backs.
+  parallel.publish();
+
+  IngestConfig icfg;
+  icfg.capacity = 1 << 16;
+  icfg.high_watermark = 1 << 16;
+  icfg.dedup_window = 1 << 16;
+  icfg.failure_keep = 1 << 16;
+  ReportIngest oracle_ingest(oracle_server, icfg);
+  for (const auto& d : datagrams) oracle_ingest.offer(d);
+  oracle_ingest.process();
+  const IngestHealth seq = oracle_ingest.health();
+
+  parallel.start();
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&datagrams, &parallel, p] {
+      for (std::size_t i = p; i < datagrams.size(); i += kProducers)
+        parallel.submit_datagram(datagrams[i]);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  parallel.drain();
+  parallel.stop();
+  const ParallelHealth par = parallel.health();
+
+  EXPECT_EQ(par.received, seq.received);
+  EXPECT_EQ(par.passed, seq.passed);
+  EXPECT_EQ(par.failed, seq.failed);
+  EXPECT_EQ(par.stale, seq.stale);
+  EXPECT_EQ(par.deduped, seq.deduped);
+  EXPECT_EQ(par.quarantined, seq.quarantined);
+  EXPECT_EQ(par.lost_estimate, seq.lost_estimate);
+  EXPECT_EQ(par.shed, 0u);
+  EXPECT_EQ(par.verified,
+            static_cast<std::uint64_t>(oracle_server.reports_verified()));
+  EXPECT_EQ(par.accounted(), par.received)
+      << "conservation law survives concurrency";
+  EXPECT_GT(par.failed, 0u) << "the injected fault stays visible";
+  EXPECT_GT(par.deduped, 0u);
+  EXPECT_GT(par.quarantined, 0u);
+}
+
+// TSan target: publish() swaps snapshots (each built in a fresh BDD
+// arena) while producers and workers are in full flight. Epoch-stale
+// reports keep verifying against the retired table of their epoch, so a
+// consistent plane yields zero failures and zero stales mid-swap.
+TEST(ParallelServer, SnapshotSwapMidStreamKeepsVerdictsConsistent) {
+  Rig rig(fat_tree(4));
+  ParallelConfig cfg;
+  cfg.workers = 3;
+  cfg.queue_capacity = 1 << 14;
+  cfg.high_watermark = 1 << 14;
+  ParallelServer parallel(rig.controller, cfg);
+  parallel.enable_epoch_checking(/*snapshot_ring=*/8, /*grace_window=*/64);
+  rig.install_and_deploy();
+  parallel.sync();
+
+  const std::vector<TagReport> reports = rig.collect_reports();
+  ASSERT_GT(reports.size(), 0u);
+
+  parallel.start();
+  constexpr unsigned kProducers = 2;
+  constexpr std::size_t kIters = 10;
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> producers;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&reports, &parallel, &submitted] {
+      for (std::size_t it = 0; it < kIters; ++it)
+        for (TagReport r : reports) {
+          r.seq = 0;  // bypass dedup: every copy must be verified
+          parallel.submit(r);
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+  }
+
+  // Concurrent control plane: five rule updates, each followed by a
+  // snapshot publication (a full table rebuild in a fresh arena).
+  const auto& subnets = rig.topo.subnets();
+  for (int i = 0; i < 5; ++i) {
+    const auto& [dst_port, subnet] = subnets[static_cast<std::size_t>(i)];
+    rig.controller.add_rule(dst_port.sw, 9000 + i, Match::dst_prefix(subnet),
+                            Action::drop());
+    parallel.publish();
+    std::this_thread::yield();
+  }
+
+  for (std::thread& t : producers) t.join();
+  parallel.drain();
+  parallel.stop();
+
+  const ParallelHealth h = parallel.health();
+  EXPECT_EQ(h.received, submitted.load());
+  EXPECT_EQ(h.failed, 0u) << "swaps must never surface as inconsistency";
+  EXPECT_EQ(h.stale, 0u) << "every old epoch is covered by the ring";
+  EXPECT_EQ(h.passed, h.received);
+  EXPECT_GE(parallel.snapshots_published(), 6u);
+  EXPECT_GE(parallel.snapshot()->ranges.size(), 1u);
+}
+
+TEST(ParallelServer, MismatchesFeedSingleConsumerLocalizationStage) {
+  Rig rig(linear(5));
+  Server oracle(rig.controller, Server::Mode::kFullRebuild);
+  ParallelConfig cfg;
+  cfg.workers = 2;
+  cfg.failure_keep = 1 << 12;
+  ParallelServer parallel(rig.controller, cfg);
+  rig.install_and_deploy();
+  oracle.sync();
+  parallel.sync();
+
+  // Break a middle switch so sampled packets deviate.
+  FaultInjector inject(rig.net);
+  const SwitchId mid = 2;
+  const auto& rules = rig.net.at(mid).config().table.rules();
+  ASSERT_FALSE(rules.empty());
+  inject.rewrite_rule_output(mid, rules.front().id,
+                             rules.front().action.out == 1 ? 2 : 1);
+  const std::vector<TagReport> reports = rig.collect_reports();
+
+  parallel.start();
+  for (const TagReport& r : reports) parallel.submit(r);
+  parallel.drain();
+  parallel.stop();
+
+  const ParallelHealth h = parallel.health();
+  ASSERT_GT(h.failed, 0u);
+  const std::vector<TagReport> failures = parallel.take_failures();
+  EXPECT_EQ(failures.size(), static_cast<std::size_t>(h.failed))
+      << "every mismatch reaches the localization stage";
+  // The stage's output feeds Algorithm 4 exactly like the sequential
+  // server's recent_failures path.
+  const LocalizeResult par = parallel.localize(failures.front());
+  const LocalizeResult seq = oracle.localize(failures.front());
+  EXPECT_EQ(par.candidates.size(), seq.candidates.size());
+  // Drained: a second take returns nothing.
+  EXPECT_TRUE(parallel.take_failures().empty());
+}
+
+}  // namespace
+}  // namespace veridp

@@ -8,6 +8,13 @@
 //                    [--rounds N] [--updates N] [--seed S] [--fault KIND]
 //                                              drive reports through a lossy
 //                                              channel + overload-aware ingest
+//   veridp_cli parallel <name> [--workers N] [--producers P] [--rounds N]
+//                      [--loss P] [--dup P] [--reorder P] [--corrupt P]
+//                      [--seed S] [--fault KIND]
+//                                              replay one chaos capture through
+//                                              the sequential stack AND the
+//                                              multi-threaded server; verdicts
+//                                              must match exactly
 //
 // <name> ∈ {linear, fat4, fat6, stanford, internet2, toy}
 // KIND   ∈ {drop-rule, blackhole, rewire, external, priority}
@@ -18,12 +25,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "controller/routing.hpp"
 #include "dataplane/fault.hpp"
 #include "topo/generators.hpp"
 #include "veridp/channel.hpp"
 #include "veridp/ingest.hpp"
+#include "veridp/parallel_server.hpp"
 #include "veridp/repair.hpp"
 #include "veridp/server.hpp"
 #include "veridp/workload.hpp"
@@ -41,6 +51,9 @@ int usage() {
                "  veridp_cli chaos <name> [--loss P] [--dup P] [--reorder P]\n"
                "             [--corrupt P] [--rounds N] [--updates N]\n"
                "             [--seed S] [--fault KIND]\n"
+               "  veridp_cli parallel <name> [--workers N] [--producers P]\n"
+               "             [--rounds N] [--loss P] [--dup P] [--reorder P]\n"
+               "             [--corrupt P] [--seed S] [--fault KIND]\n"
                "names:  linear fat4 fat6 stanford internet2 toy\n"
                "faults: drop-rule blackhole rewire external priority\n");
   return 2;
@@ -327,6 +340,139 @@ int cmd_chaos(Topology topo, const ChannelConfig& ccfg, int rounds,
   return 0;
 }
 
+// Parallel-vs-sequential replay: capture ONE chaos stream, feed the
+// identical datagrams to the single-threaded stack (Server+ReportIngest)
+// and to the ParallelServer behind P producer threads, then diff every
+// health counter. Shedding is disabled on both sides — shed decisions
+// depend on queue timing, everything else must match bit for bit.
+int cmd_parallel(Topology topo, const ChannelConfig& ccfg, int rounds,
+                 unsigned workers, unsigned producers, std::uint64_t seed,
+                 const char* fault_kind) {
+  Controller c(topo);
+  Server oracle(c, Server::Mode::kFullRebuild);
+  oracle.enable_epoch_checking();
+  ParallelConfig pcfg;
+  pcfg.workers = workers;
+  pcfg.queue_capacity = 1u << 16;
+  pcfg.high_watermark = 1u << 16;
+  pcfg.dedup_window = 1u << 16;
+  pcfg.failure_keep = 1u << 16;
+  ParallelServer parallel(c, pcfg);
+  parallel.enable_epoch_checking();
+  routing::install_shortest_paths(c);
+  oracle.sync();
+  parallel.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  Rng rng(seed);
+  FaultInjector inject(net);
+  if (fault_kind != nullptr) {
+    // First-round fault: its reports carry the sync epoch, so the
+    // mismatches are judged definitively against the retired ring table.
+    const SwitchId sw = static_cast<SwitchId>(rng.index(topo.num_switches()));
+    const auto& rules = net.at(sw).config().table.rules();
+    if (!rules.empty()) {
+      const FlowRule& victim = rules[rng.index(rules.size())];
+      const std::string kind = fault_kind;
+      if (kind == "drop-rule") {
+        inject.drop_rule(sw, victim.id);
+      } else if (kind == "blackhole") {
+        inject.replace_with_drop(sw, victim.id);
+      } else if (kind == "rewire") {
+        PortId wrong = static_cast<PortId>(1 + rng.index(topo.num_ports(sw)));
+        if (wrong == victim.action.out) wrong = wrong == 1 ? 2 : wrong - 1;
+        inject.rewrite_rule_output(sw, victim.id, wrong);
+      } else if (kind == "priority") {
+        inject.ignore_priority(sw);
+      } else if (kind == "external") {
+        inject.insert_external_rule(
+            sw, FlowRule{999999, 100000, Match::any(),
+                         Action::output(static_cast<PortId>(
+                             1 + rng.index(topo.num_ports(sw))))});
+      } else {
+        return usage();
+      }
+      std::printf("fault: %s\n", inject.history().back().describe().c_str());
+    }
+  }
+
+  ReportChannel channel(ccfg);
+  const auto flows = workload::ping_all(topo);
+  const auto& subnets = topo.subnets();
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& f : flows) {
+      const auto r = net.inject(f.header, f.entry, /*t=*/round);
+      for (const TagReport& rep : r.reports) channel.send(rep);
+    }
+    // Churn between rounds, while datagrams sit in the channel.
+    const std::size_t at = static_cast<std::size_t>(round);
+    if (at < subnets.size()) {
+      const auto& [dst_port, subnet] = subnets[at];
+      c.add_rule(dst_port.sw, 100000 + static_cast<std::int32_t>(at),
+                 Match::dst_prefix(subnet), Action::drop());
+      c.deploy(net);
+      net.set_config_epoch(c.epoch());
+    }
+  }
+  const std::vector<std::vector<std::uint8_t>> datagrams =
+      channel.drain_all();
+  std::printf("captured %zu datagrams\n", datagrams.size());
+
+  // Sequential reference.
+  IngestConfig icfg;
+  icfg.capacity = 1u << 16;
+  icfg.high_watermark = 1u << 16;
+  icfg.dedup_window = 1u << 16;
+  icfg.failure_keep = 1u << 16;
+  ReportIngest ingest(oracle, icfg);
+  for (const auto& d : datagrams) ingest.offer(d);
+  ingest.process();
+  const IngestHealth sh = ingest.health();
+
+  // The same capture through P producers × N workers. The oracle Server
+  // rebuilt lazily inside verify(); the parallel control plane publishes
+  // explicitly before streaming.
+  parallel.publish();
+  parallel.start();
+  std::printf("parallel: %u workers, %u producers\n", parallel.worker_count(),
+              producers);
+  std::vector<std::thread> pool;
+  for (unsigned p = 0; p < producers; ++p)
+    pool.emplace_back([&datagrams, &parallel, p, producers] {
+      for (std::size_t i = p; i < datagrams.size(); i += producers)
+        parallel.submit_datagram(datagrams[i]);
+    });
+  for (std::thread& t : pool) t.join();
+  parallel.drain();
+  parallel.stop();
+  const ParallelHealth ph = parallel.health();
+
+  std::printf("%-12s %10s %10s\n", "", "sequential", "parallel");
+  bool match = true;
+  const auto row = [&match](const char* name, std::uint64_t seq,
+                            std::uint64_t par) {
+    const bool ok = seq == par;
+    match = match && ok;
+    std::printf("%-12s %10llu %10llu%s\n", name,
+                static_cast<unsigned long long>(seq),
+                static_cast<unsigned long long>(par), ok ? "" : "  <-- DIFF");
+  };
+  row("received", sh.received, ph.received);
+  row("passed", sh.passed, ph.passed);
+  row("failed", sh.failed, ph.failed);
+  row("stale", sh.stale, ph.stale);
+  row("deduped", sh.deduped, ph.deduped);
+  row("quarantined", sh.quarantined, ph.quarantined);
+  row("lost-est", sh.lost_estimate, ph.lost_estimate);
+  row("shed", sh.shed, ph.shed);
+  const bool conserved = ph.accounted() == ph.received;
+  std::printf("conservation: %s\n", conserved ? "ok" : "VIOLATED");
+  std::printf("oracle match: %s\n", match ? "ok" : "MISMATCH");
+  return (match && conserved) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -368,6 +514,28 @@ int main(int argc, char** argv) {
                      rounds ? std::atoi(rounds) : 4,
                      updates ? static_cast<std::size_t>(std::atoll(updates)) : 3,
                      s, flag_value(argc, argv, "--fault"));
+  }
+  if (cmd == "parallel") {
+    ChannelConfig ccfg;
+    auto rate = [&](const char* flag, double* out) {
+      if (const char* v = flag_value(argc, argv, flag)) *out = std::atof(v);
+    };
+    rate("--loss", &ccfg.drop_rate);
+    rate("--dup", &ccfg.dup_rate);
+    rate("--reorder", &ccfg.reorder_rate);
+    rate("--corrupt", &ccfg.corrupt_rate);
+    const char* seed = flag_value(argc, argv, "--seed");
+    const std::uint64_t s =
+        seed ? static_cast<std::uint64_t>(std::atoll(seed)) : 7;
+    ccfg.seed = s;
+    const char* rounds = flag_value(argc, argv, "--rounds");
+    const char* workers = flag_value(argc, argv, "--workers");
+    const char* producers = flag_value(argc, argv, "--producers");
+    return cmd_parallel(
+        std::move(*topo), ccfg, rounds ? std::atoi(rounds) : 3,
+        workers ? static_cast<unsigned>(std::atoi(workers)) : 4,
+        producers ? static_cast<unsigned>(std::atoi(producers)) : 4, s,
+        flag_value(argc, argv, "--fault"));
   }
   return usage();
 }
