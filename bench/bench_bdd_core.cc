@@ -1,0 +1,297 @@
+// BDD-core old-vs-new benchmark — the perf trajectory for the
+// cache-conscious engine rewrite.
+//
+// "old" is the pre-rewrite configuration, kept alive behind
+// Engine::kLegacy: unordered_map unique table with the XOR-packed key,
+// unbounded node-keyed op cache, and a path-table builder that calls
+// transfer()/atoms() afresh at every traversal step (set_transfer_reuse
+// off). "new" is the shipping default: flat node pool with the
+// open-addressing full-triple unique table, bounded direct-mapped apply
+// cache, per-build transfer memo, and the per-snapshot VerifyMemo fast
+// path. Both engines produce bit-identical BddRefs for identical call
+// sequences (tested by BddEngines.IdenticalCallSequencesYieldIdenticalRefs),
+// so every row below compares equal work.
+//
+// Three measurements, each old vs new:
+//   * build        — full path-table construction on fat-tree(8) and the
+//                    Stanford-like backbone (the §6.2 workhorse tables);
+//   * incremental  — per-rule §4.4 flow-forest updates on Internet2;
+//   * verify       — per-report verification throughput over the FT(8)
+//                    table, on a unique stream (memo-neutral: every probe
+//                    misses) and on a duplicate-heavy stream (Fig-9-style
+//                    resampling of hot flows, where the memo pays off).
+//
+// Results land in BENCH_bdd_core.json (override the path with the
+// VERIDP_BENCH_JSON env var).
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "veridp/incremental.hpp"
+#include "veridp/verifier.hpp"
+
+using namespace veridp;
+using namespace veridp::bench;
+
+namespace {
+
+constexpr int kTagBits = 16;
+// Duplicate-heavy stream shape (Fig-9-style hot-flow resampling): the
+// sampler keeps re-reporting a hot working set of flows, so the stream
+// draws kDupStream reports at random from kHotFlows distinct ones. The
+// hot set fits the default VerifyMemo geometry (1<<12 entries) the way a
+// production working set is meant to.
+constexpr std::size_t kHotFlows = 1500;
+constexpr std::size_t kDupStream = 120000;
+
+double now_minus(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct BuildPoint {
+  std::string setup;
+  double old_s = 0.0;
+  double new_s = 0.0;
+  std::size_t paths = 0;
+  std::size_t new_nodes = 0;
+  [[nodiscard]] double speedup() const { return old_s / new_s; }
+};
+
+/// One timed full build with an explicit engine + reuse configuration.
+/// Returns {seconds, paths, live BDD nodes}.
+std::tuple<double, std::size_t, std::size_t> timed_build_cfg(
+    const Topology& topo, const Controller& controller, Engine engine,
+    bool reuse) {
+  HeaderSpace space(engine);
+  if (engine == Engine::kPooled) space.reserve(1u << 18);
+  ConfigTransferProvider provider(space, topo, controller.logical_configs());
+  PathTableBuilder builder(space, topo, provider, kTagBits);
+  builder.set_transfer_reuse(reuse);
+  const auto t0 = std::chrono::steady_clock::now();
+  PathTable table = builder.build();
+  const double dt = now_minus(t0);
+  return {dt, table.stats().num_paths, space.manager().node_count()};
+}
+
+BuildPoint measure_build(Setup& s) {
+  BuildPoint p;
+  p.setup = s.name;
+  auto [old_s, old_paths, old_nodes] =
+      timed_build_cfg(s.topo, s.controller, Engine::kLegacy, false);
+  (void)old_nodes;
+  auto [new_s, new_paths, new_nodes] =
+      timed_build_cfg(s.topo, s.controller, Engine::kPooled, true);
+  if (old_paths != new_paths)
+    std::printf("  (UNEXPECTED: old/new path counts differ: %zu vs %zu!)\n",
+                old_paths, new_paths);
+  p.old_s = old_s;
+  p.new_s = new_s;
+  p.paths = new_paths;
+  p.new_nodes = new_nodes;
+  std::printf("%-12s  old %.3f s   new %.3f s   %.2fx   (%zu paths, %zu "
+              "live nodes)\n",
+              p.setup.c_str(), p.old_s, p.new_s, p.speedup(), p.paths,
+              p.new_nodes);
+  return p;
+}
+
+struct IncrementalPoint {
+  std::size_t rules = 0;
+  double old_mean_ms = 0.0;
+  double new_mean_ms = 0.0;
+  [[nodiscard]] double speedup() const { return old_mean_ms / new_mean_ms; }
+};
+
+/// fig14-shaped: populate all but the last Internet2 router, then install
+/// the held-back rules one by one through the flow forest.
+double incremental_mean_ms(const Topology& topo,
+                           const std::vector<SwitchConfig>& initial,
+                           const std::vector<FlowRule>& held_back,
+                           SwitchId last, Engine engine) {
+  HeaderSpace space(engine);
+  IncrementalUpdater updater(space, topo);
+  updater.initialize(initial);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const FlowRule& r : held_back)
+    updater.apply(RuleEvent{RuleEvent::Kind::kAdd, last, r});
+  return now_minus(t0) * 1000.0 / static_cast<double>(held_back.size());
+}
+
+IncrementalPoint measure_incremental() {
+  Topology topo = internet2_like(6 * scale());
+  const SwitchId last = static_cast<SwitchId>(topo.num_switches() - 1);
+  Controller full(topo);
+  routing::install_shortest_paths(full);
+  Rng rng(4004);
+  workload::add_specific_rules(full, rng,
+                               2000 * static_cast<std::size_t>(scale()));
+  workload::add_specific_rules_at(full, last, rng,
+                                  1500 * static_cast<std::size_t>(scale()));
+
+  std::vector<SwitchConfig> initial(topo.num_switches());
+  std::vector<FlowRule> held_back;
+  for (SwitchId s = 0; s < topo.num_switches(); ++s)
+    for (const FlowRule& r : full.logical(s).table.rules()) {
+      if (s == last)
+        held_back.push_back(r);
+      else
+        initial[static_cast<std::size_t>(s)].table.add(r);
+    }
+
+  IncrementalPoint p;
+  p.rules = held_back.size();
+  p.old_mean_ms =
+      incremental_mean_ms(topo, initial, held_back, last, Engine::kLegacy);
+  p.new_mean_ms =
+      incremental_mean_ms(topo, initial, held_back, last, Engine::kPooled);
+  std::printf("Internet2     old %.3f ms/rule   new %.3f ms/rule   %.2fx   "
+              "(%zu rules)\n",
+              p.old_mean_ms, p.new_mean_ms, p.speedup(), p.rules);
+  return p;
+}
+
+struct VerifyPoint {
+  std::size_t reports = 0;       ///< unique reports (one per path)
+  std::size_t hot_flows = 0;     ///< distinct flows in the dup stream
+  std::size_t dup_stream = 0;    ///< duplicate-heavy stream length
+  double unique_old_rps = 0.0;   ///< memo off, every report distinct
+  double unique_new_rps = 0.0;   ///< memo on, every probe misses
+  double dup_old_rps = 0.0;      ///< memo off, hot-flow resampled stream
+  double dup_new_rps = 0.0;      ///< memo on, duplicates hit
+  double memo_hit_rate = 0.0;    ///< hits/lookups on the duplicate stream
+};
+
+double measure_verify_rate(const std::vector<TagReport>& stream,
+                           const EpochTables& tables, VerifyMemo* memo) {
+  std::size_t passed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const TagReport& r : stream)
+    if (verify_epoch_aware(r, tables, memo).ok()) ++passed;
+  const double dt = now_minus(t0);
+  if (passed != stream.size())
+    std::printf("  (UNEXPECTED: %zu of %zu reports did not pass!)\n",
+                stream.size() - passed, stream.size());
+  return static_cast<double>(stream.size()) / dt;
+}
+
+VerifyPoint measure_verify(Setup& s) {
+  ConfigTransferProvider provider(s.space, s.topo,
+                                  s.controller.logical_configs());
+  PathTable table = PathTableBuilder(s.space, s.topo, provider, kTagBits).build();
+  EpochTables tables;
+  tables.current = &table;
+
+  std::vector<TagReport> unique;
+  Rng rng(808);
+  table.for_each([&unique, &rng](PortKey in, PortKey out, const PathEntry& e) {
+    if (auto h = e.headers.sample(rng))
+      unique.push_back(TagReport{in, out, *h, e.tag});
+  });
+  std::vector<TagReport> dup;
+  dup.reserve(kDupStream);
+  const std::size_t hot = std::min(kHotFlows, unique.size());
+  for (std::size_t i = 0; i < kDupStream; ++i) {
+    TagReport r = unique[rng.index(hot)];
+    r.seq = static_cast<std::uint32_t>(i);
+    dup.push_back(r);
+  }
+
+  VerifyPoint p;
+  p.reports = unique.size();
+  p.hot_flows = hot;
+  p.dup_stream = dup.size();
+  p.unique_old_rps = measure_verify_rate(unique, tables, nullptr);
+  {
+    VerifyMemo memo;
+    p.unique_new_rps = measure_verify_rate(unique, tables, &memo);
+  }
+  p.dup_old_rps = measure_verify_rate(dup, tables, nullptr);
+  {
+    VerifyMemo memo;
+    p.dup_new_rps = measure_verify_rate(dup, tables, &memo);
+    p.memo_hit_rate = static_cast<double>(memo.hits()) /
+                      static_cast<double>(memo.lookups());
+  }
+  std::printf("%-12s  unique: old %.0f/s new %.0f/s (%.2fx)   hot %zu/%zu: "
+              "old %.0f/s new %.0f/s (%.2fx, hit rate %.2f)\n",
+              s.name.c_str(), p.unique_old_rps, p.unique_new_rps,
+              p.unique_new_rps / p.unique_old_rps, p.hot_flows, p.dup_stream,
+              p.dup_old_rps, p.dup_new_rps, p.dup_new_rps / p.dup_old_rps,
+              p.memo_hit_rate);
+  return p;
+}
+
+void write_json(const std::vector<BuildPoint>& builds,
+                const IncrementalPoint& inc, const VerifyPoint& vp) {
+  const char* path = std::getenv("VERIDP_BENCH_JSON");
+  if (!path) path = "BENCH_bdd_core.json";
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::printf("cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"bdd_core\",\n"
+               "  \"old\": \"legacy engine (unordered_map unique table, "
+               "unbounded op cache), transfer reuse off, no verify memo\",\n"
+               "  \"new\": \"pooled engine (open-addressing unique table, "
+               "bounded direct-mapped cache), transfer reuse on, verify "
+               "memo on\",\n"
+               "  \"build\": [\n");
+  for (std::size_t i = 0; i < builds.size(); ++i) {
+    const BuildPoint& b = builds[i];
+    std::fprintf(f,
+                 "    {\"setup\": \"%s\", \"old_s\": %.4f, \"new_s\": %.4f, "
+                 "\"speedup\": %.3f, \"paths\": %zu, \"live_nodes\": %zu}%s\n",
+                 b.setup.c_str(), b.old_s, b.new_s, b.speedup(), b.paths,
+                 b.new_nodes, i + 1 < builds.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n"
+               "  \"incremental\": {\"setup\": \"Internet2\", \"rules\": %zu, "
+               "\"old_mean_ms\": %.4f, \"new_mean_ms\": %.4f, "
+               "\"speedup\": %.3f},\n",
+               inc.rules, inc.old_mean_ms, inc.new_mean_ms, inc.speedup());
+  std::fprintf(
+      f,
+      "  \"verify\": {\"setup\": \"FT(k=8)\", \"reports\": %zu, "
+      "\"hot_flows\": %zu, \"dup_stream\": %zu,\n"
+      "    \"unique_old_reports_per_s\": %.0f, "
+      "\"unique_new_reports_per_s\": %.0f,\n"
+      "    \"dup_old_reports_per_s\": %.0f, "
+      "\"dup_new_reports_per_s\": %.0f, \"memo_hit_rate\": %.4f}\n"
+      "}\n",
+      vp.reports, vp.hot_flows, vp.dup_stream, vp.unique_old_rps,
+      vp.unique_new_rps, vp.dup_old_rps, vp.dup_new_rps, vp.memo_hit_rate);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  rule_header("BDD core: old vs new engine (build / update / verify)");
+
+  std::vector<BuildPoint> builds;
+  {
+    Setup ft = make_fat_tree(8);
+    builds.push_back(measure_build(ft));
+  }
+  {
+    Setup st = make_stanford();
+    builds.push_back(measure_build(st));
+  }
+
+  const IncrementalPoint inc = measure_incremental();
+
+  Setup ft = make_fat_tree(8);
+  const VerifyPoint vp = measure_verify(ft);
+
+  write_json(builds, inc, vp);
+  std::printf("\ntarget: >=1.5x on the FT(8) full build, no regression on "
+              "unique-stream verification\n");
+  return 0;
+}

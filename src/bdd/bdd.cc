@@ -2,40 +2,182 @@
 
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <unordered_set>
 
 namespace veridp {
 
 namespace {
 
-// Packs (var, low, high) into a 64-bit unique-table key. Node counts stay
-// far below 2^21 per field in our workloads; assert guards the packing.
+// Initial geometry (DESIGN.md §7). The unique table starts at 64Ki slots
+// (256 KiB) and doubles at 70% load; the op cache starts at 16Ki entries
+// (256 KiB), tracks the node count up to a hard 1Mi-entry bound (16 MiB)
+// and stays bounded from there — lossy by design.
+constexpr std::size_t kUniqueInitSlots = std::size_t{1} << 16;
+constexpr std::size_t kOpCacheInitEntries = std::size_t{1} << 14;
+constexpr std::size_t kOpCacheMaxEntries = std::size_t{1} << 20;
+
+// Legacy engine: packs (var, low, high) into a 64-bit unique-table key.
+// Collides silently once an index field crosses 2^24 — the collision
+// class the pooled engine's full-triple keying eliminates; preserved
+// verbatim for old-vs-new benchmarking.
 std::uint64_t pack_unique(std::int32_t var, BddRef low, BddRef high) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) << 48) ^
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(low)) << 24) ^
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(high));
 }
 
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-BddManager::BddManager(int num_vars) : num_vars_(num_vars) {
+BddManager::BddManager(int num_vars, Engine engine)
+    : engine_(engine), num_vars_(num_vars) {
   assert(num_vars >= 0 && num_vars < (1 << 15));
   // Terminal nodes: index 0 = FALSE, 1 = TRUE. Their var is num_vars_ so
-  // that terminals sort below every real variable.
+  // that terminals sort below every real variable. Terminals are never
+  // interned, which is what lets slot value 0 mean "empty".
+  nodes_.reserve(1 << 16);
   nodes_.push_back(Node{num_vars_, kBddFalse, kBddFalse});
   nodes_.push_back(Node{num_vars_, kBddTrue, kBddTrue});
-  nodes_.reserve(1 << 16);
+  if (engine_ == Engine::kPooled) {
+    slots_.assign(kUniqueInitSlots, kBddFalse);
+    slot_mask_ = kUniqueInitSlots - 1;
+    op_slots_.assign(kOpCacheInitEntries, ApplyEntry{});
+    op_mask_ = kOpCacheInitEntries - 1;
+  }
+}
+
+std::uint64_t BddManager::hash_triple(std::int32_t var, BddRef low,
+                                      BddRef high) const {
+  std::uint64_t h =
+      static_cast<std::uint32_t>(var) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::uint32_t>(low) * 0xC2B2AE3D27D4EB4FULL;
+  h ^= static_cast<std::uint32_t>(high) * 0x165667B19E3779F9ULL;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  if (hash_keep_bits_ < 64) h &= (std::uint64_t{1} << hash_keep_bits_) - 1;
+  return h;
+}
+
+std::size_t BddManager::cache_index(std::uint32_t op, BddRef a,
+                                    BddRef b) const {
+  std::uint64_t h = (static_cast<std::uint64_t>(op) << 60) ^
+                    static_cast<std::uint32_t>(a) * 0xFF51AFD7ED558CCDULL ^
+                    static_cast<std::uint32_t>(b) * 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 29;
+  return static_cast<std::size_t>(h) & op_mask_;
+}
+
+BddRef BddManager::cache_lookup(std::uint32_t op, BddRef a, BddRef b) const {
+  const ApplyEntry& e = op_slots_[cache_index(op, a, b)];
+  if (e.op == op && e.a == a && e.b == b) return e.result;
+  return -1;
+}
+
+void BddManager::cache_store(std::uint32_t op, BddRef a, BddRef b,
+                             BddRef result) {
+  // Index recomputed here on purpose: the recursion between lookup and
+  // store may have grown (and thus cleared) the cache array.
+  op_slots_[cache_index(op, a, b)] = ApplyEntry{op, a, b, result};
+}
+
+void BddManager::grow_unique(std::size_t min_slots) {
+  const std::size_t cap = next_pow2(min_slots);
+  slots_.assign(cap, kBddFalse);
+  slot_mask_ = cap - 1;
+  // Rehash by walking the pool (cache-friendly, and every non-terminal
+  // node is interned by construction).
+  for (std::size_t idx = 2; idx < nodes_.size(); ++idx) {
+    const Node& n = nodes_[idx];
+    std::size_t i =
+        static_cast<std::size_t>(hash_triple(n.var, n.low, n.high)) &
+        slot_mask_;
+    while (slots_[i] != kBddFalse) i = (i + 1) & slot_mask_;
+    slots_[i] = static_cast<BddRef>(idx);
+  }
+}
+
+void BddManager::maybe_grow_caches() {
+  // Keep the op cache tracking the node count until the bound: a cache
+  // much smaller than the working set thrashes, one much larger wastes
+  // the cache lines the flat pool just saved.
+  if (op_slots_.size() < kOpCacheMaxEntries &&
+      nodes_.size() > op_slots_.size()) {
+    std::size_t target = op_slots_.size();
+    while (target < nodes_.size() && target < kOpCacheMaxEntries)
+      target <<= 1;
+    op_slots_.assign(target, ApplyEntry{});  // lossy: dropped entries
+    op_mask_ = target - 1;
+  }
+}
+
+void BddManager::reserve(std::size_t nodes) {
+  nodes_.reserve(nodes + 2);
+  if (engine_ == Engine::kLegacy) {
+    unique_.reserve(nodes);
+    return;
+  }
+  const std::size_t want_slots = nodes * 10 / 7 + 1;  // keep load < 0.7
+  if (want_slots > slots_.size()) grow_unique(want_slots);
+  if (op_slots_.size() < kOpCacheMaxEntries && nodes > op_slots_.size()) {
+    const std::size_t target =
+        std::min(next_pow2(nodes), kOpCacheMaxEntries);
+    op_slots_.assign(target, ApplyEntry{});
+    op_mask_ = target - 1;
+  }
+}
+
+BddRef BddManager::intern(std::int32_t var, BddRef low, BddRef high) {
+  std::size_t i =
+      static_cast<std::size_t>(hash_triple(var, low, high)) & slot_mask_;
+  for (;;) {
+    const BddRef s = slots_[i];
+    if (s == kBddFalse) break;
+    const Node& n = nodes_[static_cast<std::size_t>(s)];
+    // Full-triple compare: hash collisions probe on, they never merge.
+    if (n.var == var && n.low == low && n.high == high) return s;
+    i = (i + 1) & slot_mask_;
+  }
+  nodes_.push_back(Node{var, low, high});
+  const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
+  slots_[i] = ref;
+  if (++interned_ * 10 >= slots_.size() * 7) grow_unique(slots_.size() * 2);
+  maybe_grow_caches();
+  return ref;
 }
 
 BddRef BddManager::make_node(std::int32_t var, BddRef low, BddRef high) {
   if (low == high) return low;  // reduction rule
-  const std::uint64_t key = pack_unique(var, low, high);
-  auto [it, inserted] = unique_.try_emplace(key, 0);
-  if (!inserted) return it->second;
-  nodes_.push_back(Node{var, low, high});
-  const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
-  it->second = ref;
-  return ref;
+  if (engine_ == Engine::kLegacy) {
+    const std::uint64_t key = pack_unique(var, low, high);
+    auto [it, inserted] = unique_.try_emplace(key, 0);
+    if (!inserted) return it->second;
+    nodes_.push_back(Node{var, low, high});
+    const BddRef ref = static_cast<BddRef>(nodes_.size() - 1);
+    it->second = ref;
+    return ref;
+  }
+  return intern(var, low, high);
+}
+
+BddRef BddManager::intern_raw_for_test(std::int32_t var, BddRef low,
+                                       BddRef high) {
+  return make_node(var, low, high);
+}
+
+void BddManager::degrade_hash_for_test(int keep_bits) {
+  assert(engine_ == Engine::kPooled);
+  assert(keep_bits >= 0 && keep_bits <= 64);
+  hash_keep_bits_ = keep_bits;
+  grow_unique(slots_.size());  // rehash in place under the degraded hash
 }
 
 BddRef BddManager::var(int v) {
@@ -86,14 +228,26 @@ BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
   if ((op == Op::And || op == Op::Or || op == Op::Xor) && a > b)
     std::swap(a, b);
 
-  const CacheKey key{(static_cast<std::uint64_t>(static_cast<int>(op)) << 60) ^
-                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
-                      << 30) ^
-                     static_cast<std::uint64_t>(static_cast<std::uint32_t>(b))};
-  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
+  const bool legacy = engine_ == Engine::kLegacy;
+  CacheKey legacy_key{0};
+  if (legacy) {
+    legacy_key =
+        CacheKey{(static_cast<std::uint64_t>(static_cast<int>(op)) << 60) ^
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                  << 30) ^
+                 static_cast<std::uint64_t>(static_cast<std::uint32_t>(b))};
+    if (auto it = op_cache_.find(legacy_key); it != op_cache_.end())
+      return it->second;
+  } else if (const BddRef hit =
+                 cache_lookup(static_cast<std::uint32_t>(op), a, b);
+             hit >= 0) {
+    return hit;
+  }
 
-  const Node& na = nodes_[static_cast<std::size_t>(a)];
-  const Node& nb = nodes_[static_cast<std::size_t>(b)];
+  // Copy the operand nodes: the recursion below appends to the pool and
+  // may reallocate it.
+  const Node na = nodes_[static_cast<std::size_t>(a)];
+  const Node nb = nodes_[static_cast<std::size_t>(b)];
   const std::int32_t v = std::min(na.var, nb.var);
   const BddRef a_lo = na.var == v ? na.low : a;
   const BddRef a_hi = na.var == v ? na.high : a;
@@ -103,7 +257,10 @@ BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
   const BddRef lo = apply(op, a_lo, b_lo);
   const BddRef hi = apply(op, a_hi, b_hi);
   const BddRef result = make_node(v, lo, hi);
-  op_cache_.emplace(key, result);
+  if (legacy)
+    op_cache_.emplace(legacy_key, result);
+  else
+    cache_store(static_cast<std::uint32_t>(op), a, b, result);
   return result;
 }
 
@@ -117,14 +274,24 @@ BddRef BddManager::apply_diff(BddRef a, BddRef b) {
 BddRef BddManager::apply_not(BddRef a) {
   if (a == kBddFalse) return kBddTrue;
   if (a == kBddTrue) return kBddFalse;
-  const CacheKey key{
-      (static_cast<std::uint64_t>(static_cast<int>(Op::Not)) << 60) ^
-      static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))};
-  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
-  const Node& na = nodes_[static_cast<std::size_t>(a)];
+  const bool legacy = engine_ == Engine::kLegacy;
+  CacheKey legacy_key{0};
+  if (legacy) {
+    legacy_key = CacheKey{
+        (static_cast<std::uint64_t>(static_cast<int>(Op::Not)) << 60) ^
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))};
+    if (auto it = op_cache_.find(legacy_key); it != op_cache_.end())
+      return it->second;
+  } else if (const BddRef hit = cache_lookup(kOpNot, a, 0); hit >= 0) {
+    return hit;
+  }
+  const Node na = nodes_[static_cast<std::size_t>(a)];
   const BddRef result =
       make_node(na.var, apply_not(na.low), apply_not(na.high));
-  op_cache_.emplace(key, result);
+  if (legacy)
+    op_cache_.emplace(legacy_key, result);
+  else
+    cache_store(kOpNot, a, 0, result);
   return result;
 }
 
@@ -137,24 +304,29 @@ bool BddManager::implies(BddRef a, BddRef b) {
 }
 
 bool BddManager::eval(BddRef a, const std::vector<bool>& bits) const {
-  return eval(a, [&bits](int v) { return bits[static_cast<std::size_t>(v)]; });
+  return eval_with(a,
+                   [&bits](int v) { return bits[static_cast<std::size_t>(v)]; });
 }
 
 bool BddManager::eval(BddRef a, const std::function<bool(int)>& bit) const {
-  while (a > kBddTrue) {
-    const Node& n = nodes_[static_cast<std::size_t>(a)];
-    a = bit(n.var) ? n.high : n.low;
-  }
-  return a == kBddTrue;
+  return eval_with(a, [&bit](int v) { return bit(v); });
 }
 
 double BddManager::sat_count(BddRef a) const {
   // count(n) = number of assignments of variables >= n.var satisfying n,
-  // scaled at the end for variables above the root. The lock spans the
-  // whole recursion: contention is irrelevant (cold diagnostic path) and
-  // a coarse guard keeps the memoized cache race-free for concurrent
-  // verification-side callers.
-  std::lock_guard<std::mutex> lk(count_mu_);
+  // scaled at the end for variables above the root. Read-mostly after
+  // warm-up: a warm root is answered under the shared lock; only a cold
+  // root takes the exclusive side and fills the memo (cold diagnostic
+  // path, contention irrelevant).
+  if (a == kBddFalse) return 0.0;
+  if (a == kBddTrue) return std::exp2(num_vars_);
+  const Node& root = nodes_[static_cast<std::size_t>(a)];
+  {
+    std::shared_lock<std::shared_mutex> lk(count_mu_);
+    if (auto it = count_cache_.find(a); it != count_cache_.end())
+      return it->second * std::exp2(root.var);
+  }
+  std::unique_lock<std::shared_mutex> lk(count_mu_);
   std::function<double(BddRef)> rec = [&](BddRef r) -> double {
     if (r == kBddFalse) return 0.0;
     if (r == kBddTrue) return 1.0;
@@ -168,34 +340,16 @@ double BddManager::sat_count(BddRef a) const {
     count_cache_.emplace(r, c);
     return c;
   };
-  const Node& root = nodes_[static_cast<std::size_t>(a)];
   return rec(a) * std::exp2(root.var);
 }
 
 std::optional<std::vector<bool>> BddManager::pick_one(BddRef a) const {
-  return pick_random(a, [] { return false; });
+  return pick_random_with(a, [] { return false; });
 }
 
 std::optional<std::vector<bool>> BddManager::pick_random(
     BddRef a, const std::function<bool()>& coin) const {
-  if (a == kBddFalse) return std::nullopt;
-  std::vector<bool> bits(static_cast<std::size_t>(num_vars_));
-  for (int v = 0; v < num_vars_; ++v) bits[static_cast<std::size_t>(v)] = coin();
-  BddRef cur = a;
-  while (cur > kBddTrue) {
-    const Node& n = nodes_[static_cast<std::size_t>(cur)];
-    // Prefer the coin's choice if it keeps us satisfiable; otherwise flip.
-    bool want = bits[static_cast<std::size_t>(n.var)];
-    BddRef next = want ? n.high : n.low;
-    if (next == kBddFalse) {
-      want = !want;
-      next = want ? n.high : n.low;
-    }
-    bits[static_cast<std::size_t>(n.var)] = want;
-    cur = next;
-  }
-  assert(cur == kBddTrue);
-  return bits;
+  return pick_random_with(a, [&coin] { return coin(); });
 }
 
 std::size_t BddManager::size(BddRef a) const {
@@ -213,24 +367,49 @@ std::size_t BddManager::size(BddRef a) const {
 }
 
 BddRef BddManager::and_all(const std::vector<BddRef>& xs) {
-  BddRef acc = kBddTrue;
-  for (BddRef x : xs) acc = apply_and(acc, x);
-  return acc;
+  if (xs.empty()) return kBddTrue;
+  // Balanced pairwise reduction: intermediate conjunctions stay small
+  // and structurally similar, so the op cache hits far more often than
+  // under the left-fold accumulate.
+  std::vector<BddRef> cur = xs;
+  while (cur.size() > 1) {
+    std::size_t o = 0;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
+      cur[o++] = apply_and(cur[i], cur[i + 1]);
+    if (cur.size() & 1) cur[o++] = cur.back();
+    cur.resize(o);
+  }
+  return cur.front();
 }
 
 BddRef BddManager::or_all(const std::vector<BddRef>& xs) {
-  BddRef acc = kBddFalse;
-  for (BddRef x : xs) acc = apply_or(acc, x);
-  return acc;
+  if (xs.empty()) return kBddFalse;
+  std::vector<BddRef> cur = xs;
+  while (cur.size() > 1) {
+    std::size_t o = 0;
+    for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
+      cur[o++] = apply_or(cur[i], cur[i + 1]);
+    if (cur.size() & 1) cur[o++] = cur.back();
+    cur.resize(o);
+  }
+  return cur.front();
 }
 
 BddRef BddManager::cube(int first_var, std::uint64_t bits, int width,
                         int len) {
+  return cube_onto(kBddTrue, first_var, bits, width, len);
+}
+
+BddRef BddManager::cube_onto(BddRef tail, int first_var, std::uint64_t bits,
+                             int width, int len) {
   assert(len >= 0 && len <= width);
   assert(first_var + width <= num_vars_);
+  // Ordered-BDD invariant: the continuation must live strictly below the
+  // constrained range.
+  assert(tail <= kBddTrue || top_var(tail) > first_var + len - 1);
   // Build bottom-up from the deepest constrained variable so each level is
   // a single make_node — no apply() and thus no cache pressure.
-  BddRef acc = kBddTrue;
+  BddRef acc = tail;
   for (int i = len - 1; i >= 0; --i) {
     const bool bit = (bits >> (width - 1 - i)) & 1;
     const std::int32_t v = first_var + i;
@@ -242,14 +421,25 @@ BddRef BddManager::cube(int first_var, std::uint64_t bits, int width,
 BddRef BddManager::exists(BddRef a, int first_var, int count) {
   if (a <= kBddTrue || count <= 0) return a;
   const int last = first_var + count - 1;
-  // Memoized on (a, range). The range fits the spare key bits since
-  // variables are < 2^15.
-  const CacheKey key{(std::uint64_t{0xEull} << 60) ^
-                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
-                      << 30) ^
-                     (static_cast<std::uint64_t>(first_var) << 15) ^
-                     static_cast<std::uint64_t>(count)};
-  if (auto it = op_cache_.find(key); it != op_cache_.end()) return it->second;
+  const bool legacy = engine_ == Engine::kLegacy;
+  CacheKey legacy_key{0};
+  // Pooled: EXISTS carries its own op tag and packs (first_var, count)
+  // into the b operand — exact compare, no aliasing with binary keys.
+  const BddRef range_enc =
+      static_cast<BddRef>((first_var << 16) | (count & 0xFFFF));
+  if (legacy) {
+    legacy_key =
+        CacheKey{(std::uint64_t{0xEull} << 60) ^
+                 (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
+                  << 30) ^
+                 (static_cast<std::uint64_t>(first_var) << 15) ^
+                 static_cast<std::uint64_t>(count)};
+    if (auto it = op_cache_.find(legacy_key); it != op_cache_.end())
+      return it->second;
+  } else if (const BddRef hit = cache_lookup(kOpExists, a, range_enc);
+             hit >= 0) {
+    return hit;
+  }
 
   const Node n = nodes_[static_cast<std::size_t>(a)];
   BddRef result;
@@ -263,7 +453,10 @@ BddRef BddManager::exists(BddRef a, int first_var, int count) {
     result = make_node(n.var, exists(n.low, first_var, count),
                        exists(n.high, first_var, count));
   }
-  op_cache_.emplace(key, result);
+  if (legacy)
+    op_cache_.emplace(legacy_key, result);
+  else
+    cache_store(kOpExists, a, range_enc, result);
   return result;
 }
 

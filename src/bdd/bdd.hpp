@@ -11,6 +11,33 @@
 //   * negation, implication tests, satisfiability counting, and witness
 //     extraction (used to synthesize concrete test packets from a set).
 //
+// Memory layout (DESIGN.md §7): nodes live in one flat pool (a contiguous
+// vector of 12-byte {var, low, high} records, append-only, never moved
+// logically — growth reallocates but indices are stable). Two engines
+// share that pool:
+//
+//   * Engine::kPooled (default) — an open-addressing unique table
+//     (linear probe, power-of-two capacity, tombstone-free because nodes
+//     are never deleted) keyed on the FULL (var, low, high) triple; slot
+//     values are node indices and probes compare against the pool, so
+//     distinct triples can never merge regardless of hash behaviour.
+//     The operation cache is a bounded, direct-mapped, lossy array
+//     (CUDD/BuDDy style): each slot stores the exact (op, a, b) key and
+//     its result, a colliding insert simply overwrites. Losing an entry
+//     costs only recomputation — apply() results are canonical, so a
+//     stale-free exact-compare hit is always correct. Unary (NOT) and
+//     quantifier (EXISTS) operations carry their own op tags and operand
+//     encodings, so they can never alias a binary entry.
+//   * Engine::kLegacy — the pre-optimization tables
+//     (std::unordered_map keyed on XOR-packed 64-bit keys), preserved
+//     verbatim so benchmarks can measure old-vs-new on identical
+//     workloads. The packing silently collides once node indices cross
+//     2^24 (unique table) / 2^30 (op cache); kPooled eliminates that
+//     class outright, and `tests/test_bdd.cc` pins the property through
+//     the raw-intern test hook. Both engines create nodes in the same
+//     order for the same call sequence, so refs are interchangeable —
+//     the differential suite asserts ref-exact equality between them.
+//
 // Nodes are never garbage collected: managers live as long as the path
 // table that uses them, and the workloads in this repository peak at a few
 // million nodes. `BddManager::node_count()` exposes growth for benchmarks.
@@ -22,25 +49,27 @@
 // Thread-safety contract (audited for the parallel verification server;
 // the concurrency tests under the TSan preset exercise it):
 //
-//   * READ-ONLY ops — eval, pick_one, pick_random, size, top_var, dump,
-//     is_false/is_true — walk the immutable node store and allocate
-//     nothing shared; any number of threads may run them concurrently.
+//   * READ-ONLY ops — eval/eval_with, pick_one, pick_random, size,
+//     top_var, dump, is_false/is_true — walk the immutable node store and
+//     allocate nothing shared; any number of threads may run them
+//     concurrently.
 //   * sat_count is logically read-only but memoizes; its cache is
-//     guarded by an internal mutex, so it is safe concurrently with the
-//     read-only ops and with itself.
+//     guarded by an internal shared_mutex (read-mostly after warm-up:
+//     concurrent warm hits share the lock), so it is safe concurrently
+//     with the read-only ops and with itself.
 //   * EVERY OTHER member (var, nvar, apply_*, ite, implies, and_all,
-//     or_all, cube, exists) may create nodes or touch the unguarded
-//     apply cache and requires EXCLUSIVE access to the manager — no
-//     concurrent reader, because node creation can reallocate the store
-//     readers are walking. The parallel server therefore builds each
-//     published path-table snapshot in a fresh manager and never
-//     mutates one that readers hold.
+//     or_all, cube, cube_onto, exists, reserve) may create nodes or
+//     touch the unguarded apply cache and requires EXCLUSIVE access to
+//     the manager — no concurrent reader, because node creation can
+//     reallocate the store readers are walking. The parallel server
+//     therefore builds each published path-table snapshot in a fresh
+//     manager and never mutates one that readers hold.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,16 +82,27 @@ using BddRef = std::int32_t;
 inline constexpr BddRef kBddFalse = 0;
 inline constexpr BddRef kBddTrue = 1;
 
+/// Table implementation selector (see the BddManager header comment).
+/// kLegacy is retained only so benchmarks and oracle tests can run
+/// old-vs-new in one process; production code always uses the default.
+enum class Engine : std::uint8_t { kPooled, kLegacy };
+
 /// Shared-nothing BDD node store and operation cache.
 class BddManager {
  public:
   /// Creates a manager over `num_vars` Boolean variables.
-  explicit BddManager(int num_vars);
+  explicit BddManager(int num_vars, Engine engine = Engine::kPooled);
 
   BddManager(const BddManager&) = delete;
   BddManager& operator=(const BddManager&) = delete;
 
   int num_vars() const { return num_vars_; }
+  Engine engine() const { return engine_; }
+
+  /// Pre-sizes the node pool and unique table for ~`nodes` nodes (and
+  /// widens the op cache accordingly), avoiding incremental rehashes on
+  /// bulk construction. Growth only — never shrinks.
+  void reserve(std::size_t nodes);
 
   /// The BDD for the positive literal of variable `var`.
   BddRef var(int var);
@@ -86,16 +126,30 @@ class BddManager {
   bool is_true(BddRef a) const { return a == kBddTrue; }
   /// True iff a ⊆ b, i.e. a AND NOT b == FALSE.
   bool implies(BddRef a, BddRef b);
+
+  /// Evaluates `a` under an assignment provided as any callable
+  /// int -> bool. The membership fast path: inlines the walk with no
+  /// std::function indirection, O(path length), allocates nothing.
+  template <class BitFn>
+  bool eval_with(BddRef a, BitFn&& bit) const {
+    while (a > kBddTrue) {
+      const Node& n = nodes_[static_cast<std::size_t>(a)];
+      a = bit(n.var) ? n.high : n.low;
+    }
+    return a == kBddTrue;
+  }
+
   /// Evaluates `a` under a full assignment: `bits[v]` is the value of
   /// variable v. O(path length); allocates nothing.
   bool eval(BddRef a, const std::vector<bool>& bits) const;
-  /// Evaluates under an assignment provided as a callable int -> bool.
+  /// Type-erased convenience overload (cold paths; hot paths should use
+  /// eval_with).
   bool eval(BddRef a, const std::function<bool(int)>& bit) const;
 
   /// Number of satisfying assignments over all num_vars() variables,
   /// as a double (the count can exceed 2^64 for 104-var headers).
-  /// Memoized behind an internal mutex: safe to call concurrently with
-  /// the read-only ops (see the thread-safety contract above).
+  /// Memoized behind an internal shared_mutex: safe to call concurrently
+  /// with the read-only ops (see the thread-safety contract above).
   double sat_count(BddRef a) const;
 
   /// Picks one satisfying assignment; returns nullopt iff a == FALSE.
@@ -103,7 +157,31 @@ class BddManager {
   std::optional<std::vector<bool>> pick_one(BddRef a) const;
 
   /// Picks a pseudo-random satisfying assignment: free variables are
-  /// chosen by `coin` (a callable returning bool).
+  /// chosen by `coin` (any callable returning bool).
+  template <class CoinFn>
+  std::optional<std::vector<bool>> pick_random_with(BddRef a,
+                                                    CoinFn&& coin) const {
+    if (a == kBddFalse) return std::nullopt;
+    std::vector<bool> bits(static_cast<std::size_t>(num_vars_));
+    for (int v = 0; v < num_vars_; ++v)
+      bits[static_cast<std::size_t>(v)] = coin();
+    BddRef cur = a;
+    while (cur > kBddTrue) {
+      const Node& n = nodes_[static_cast<std::size_t>(cur)];
+      // Prefer the coin's choice if it keeps us satisfiable; otherwise flip.
+      bool want = bits[static_cast<std::size_t>(n.var)];
+      BddRef next = want ? n.high : n.low;
+      if (next == kBddFalse) {
+        want = !want;
+        next = want ? n.high : n.low;
+      }
+      bits[static_cast<std::size_t>(n.var)] = want;
+      cur = next;
+    }
+    return bits;
+  }
+
+  /// Type-erased pick_random (cold paths).
   std::optional<std::vector<bool>> pick_random(
       BddRef a, const std::function<bool()>& coin) const;
 
@@ -113,15 +191,24 @@ class BddManager {
   /// Number of distinct nodes reachable from `a` (BDD size).
   std::size_t size(BddRef a) const;
 
-  /// Builds the conjunction a[0] AND a[1] AND ... (TRUE for empty).
+  /// Builds the conjunction a[0] AND a[1] AND ... (TRUE for empty) by
+  /// balanced pairwise reduction, keeping intermediate BDDs small.
   BddRef and_all(const std::vector<BddRef>& xs);
-  /// Builds the disjunction (FALSE for empty).
+  /// Builds the disjunction (FALSE for empty), balanced like and_all.
   BddRef or_all(const std::vector<BddRef>& xs);
 
   /// Constrains variables [first_var, first_var+len) to equal the top
   /// `len` bits of `bits` (MSB-first within the given width). This is the
   /// workhorse for IP-prefix predicates: O(len) nodes, no apply needed.
   BddRef cube(int first_var, std::uint64_t bits, int width, int len);
+
+  /// cube() generalized to an arbitrary continuation: the result is the
+  /// cube conjoined with `tail`, built bottom-up with plain make_node
+  /// calls — still no apply. Chaining cube_onto from the highest field
+  /// to the lowest builds an n-field singleton with zero cache pressure
+  /// (tail's top variable must lie below the cube's range).
+  BddRef cube_onto(BddRef tail, int first_var, std::uint64_t bits, int width,
+                   int len);
 
   /// Existential quantification over the contiguous variable range
   /// [first_var, first_var + count): ∃ x_i... f. Used by header-rewrite
@@ -131,8 +218,35 @@ class BddManager {
   /// Variable index at the root of `a`, or num_vars() for terminals.
   int top_var(BddRef a) const;
 
+  /// Structural cofactors of the root node (terminals return themselves).
+  /// Read-only: lets tools/tests expand a BDD without re-evaluating.
+  BddRef low_of(BddRef a) const {
+    return nodes_[static_cast<std::size_t>(a)].low;
+  }
+  BddRef high_of(BddRef a) const {
+    return nodes_[static_cast<std::size_t>(a)].high;
+  }
+
   /// Human-readable dump (for debugging small BDDs).
   std::string dump(BddRef a) const;
+
+  // -- Diagnostics / test hooks ---------------------------------------------
+  /// Current unique-table slot count (pooled engine; 0 for legacy).
+  std::size_t unique_capacity() const { return slots_.size(); }
+
+  /// TEST-ONLY: interns a raw (var, low, high) triple without validating
+  /// that the children exist, so collision tests can shape >2^24-style
+  /// index patterns in the key fields without allocating millions of
+  /// nodes. The returned ref must never be evaluated or combined — it is
+  /// only meaningful for identity checks (same triple -> same ref,
+  /// distinct triple -> distinct ref).
+  BddRef intern_raw_for_test(std::int32_t var, BddRef low, BddRef high);
+
+  /// TEST-ONLY (pooled engine): truncates every unique-table hash to its
+  /// low `keep_bits` bits and rehashes, forcing pathological clustering.
+  /// Correctness must be hash-independent (probes compare full triples);
+  /// the differential suite runs under keep_bits <= 4 to prove it.
+  void degrade_hash_for_test(int keep_bits);
 
  private:
   struct Node {
@@ -143,6 +257,22 @@ class BddManager {
 
   enum class Op : std::uint8_t { And, Or, Xor, Diff, Not };
 
+  // -- Pooled op cache ------------------------------------------------------
+  // Direct-mapped, bounded, lossy. `op` doubles as the occupancy flag
+  // (kOpEmpty = vacant). Binary ops store both operands; NOT stores
+  // (a, 0); EXISTS stores (a, first_var << 16 | count) under its own tag
+  // — exact compare on (op, a, b) makes aliasing structurally impossible.
+  static constexpr std::uint32_t kOpNot = 4;
+  static constexpr std::uint32_t kOpExists = 5;
+  static constexpr std::uint32_t kOpEmpty = 0xFFFFFFFFu;
+  struct ApplyEntry {
+    std::uint32_t op = kOpEmpty;
+    BddRef a = 0;
+    BddRef b = 0;
+    BddRef result = 0;
+  };
+
+  // -- Legacy (pre-optimization) tables -------------------------------------
   struct CacheKey {
     std::uint64_t k;
     friend bool operator==(const CacheKey&, const CacheKey&) = default;
@@ -158,19 +288,43 @@ class BddManager {
   };
 
   BddRef make_node(std::int32_t var, BddRef low, BddRef high);
+  BddRef intern(std::int32_t var, BddRef low, BddRef high);
   BddRef apply(Op op, BddRef a, BddRef b);
   static bool terminal_case(Op op, BddRef a, BddRef b, BddRef& out);
 
+  std::uint64_t hash_triple(std::int32_t var, BddRef low, BddRef high) const;
+  std::size_t cache_index(std::uint32_t op, BddRef a, BddRef b) const;
+  BddRef cache_lookup(std::uint32_t op, BddRef a, BddRef b) const;
+  void cache_store(std::uint32_t op, BddRef a, BddRef b, BddRef result);
+  void grow_unique(std::size_t min_slots);
+  void maybe_grow_caches();
+
+  Engine engine_;
   int num_vars_;
   std::vector<Node> nodes_;
-  // Unique table: (var, low, high) -> node index.
+
+  // Pooled unique table: open addressing, linear probe, power-of-two,
+  // tombstone-free. Slot value is a node index; 0 (the FALSE terminal,
+  // never interned) marks an empty slot.
+  std::vector<BddRef> slots_;
+  std::size_t slot_mask_ = 0;
+  std::size_t interned_ = 0;
+  int hash_keep_bits_ = 64;  // degraded by degrade_hash_for_test
+
+  // Pooled op cache: direct-mapped, power-of-two, bounded.
+  std::vector<ApplyEntry> op_slots_;
+  std::size_t op_mask_ = 0;
+
+  // Legacy unique table: XOR-packed (var, low, high) -> node index.
   std::unordered_map<std::uint64_t, BddRef> unique_;
-  // Operation cache: (op, a, b) -> result.
+  // Legacy operation cache: XOR-packed (op, a, b) -> result.
   std::unordered_map<CacheKey, BddRef, CacheKeyHash> op_cache_;
+
   // sat_count memo, invalidated never (nodes are immutable). Mutated
-  // under count_mu_ from the logically-const sat_count so concurrent
-  // readers (e.g. HeaderSet::count from verification threads) are safe.
-  mutable std::mutex count_mu_;
+  // under count_mu_ from the logically-const sat_count; warm lookups
+  // take the shared side, so concurrent readers (e.g. HeaderSet::count
+  // from verification threads) proceed in parallel after warm-up.
+  mutable std::shared_mutex count_mu_;
   mutable std::unordered_map<BddRef, double> count_cache_;
 };
 

@@ -1,5 +1,6 @@
 #include "header/header_set.hpp"
 
+#include <array>
 #include <cassert>
 
 namespace veridp {
@@ -67,18 +68,36 @@ HeaderSet HeaderSpace::field_range(Field f, std::uint64_t lo,
 }
 
 HeaderSet HeaderSpace::singleton(const PacketHeader& h) const {
-  BddRef r = kBddTrue;
-  r = mgr_->apply_and(r, mgr_->cube(field_offset(Field::SrcIp),
-                                    h.src_ip.value, 32, 32));
-  r = mgr_->apply_and(r, mgr_->cube(field_offset(Field::DstIp),
-                                    h.dst_ip.value, 32, 32));
-  r = mgr_->apply_and(r,
-                      mgr_->cube(field_offset(Field::Proto), h.proto, 8, 8));
-  r = mgr_->apply_and(
-      r, mgr_->cube(field_offset(Field::SrcPort), h.src_port, 16, 16));
-  r = mgr_->apply_and(
-      r, mgr_->cube(field_offset(Field::DstPort), h.dst_port, 16, 16));
+  // A singleton is one 104-long chain: build it bottom-up, deepest field
+  // first, threading each cube onto the previous one. Zero apply() calls
+  // (the old version chained five apply_and over separate cubes).
+  BddRef r = mgr_->cube_onto(kBddTrue, field_offset(Field::DstPort),
+                             h.dst_port, 16, 16);
+  r = mgr_->cube_onto(r, field_offset(Field::SrcPort), h.src_port, 16, 16);
+  r = mgr_->cube_onto(r, field_offset(Field::Proto), h.proto, 8, 8);
+  r = mgr_->cube_onto(r, field_offset(Field::DstIp), h.dst_ip.value, 32, 32);
+  r = mgr_->cube_onto(r, field_offset(Field::SrcIp), h.src_ip.value, 32, 32);
   return wrap(r);
+}
+
+HeaderSet HeaderSpace::union_all(const std::vector<HeaderSet>& xs) const {
+  std::vector<BddRef> refs;
+  refs.reserve(xs.size());
+  for (const auto& x : xs) {
+    assert(!x.mgr_ || x.mgr_ == mgr_);
+    refs.push_back(x.ref());
+  }
+  return wrap(mgr_->or_all(refs));
+}
+
+HeaderSet HeaderSpace::intersect_all(const std::vector<HeaderSet>& xs) const {
+  std::vector<BddRef> refs;
+  refs.reserve(xs.size());
+  for (const auto& x : xs) {
+    assert(!x.mgr_ || x.mgr_ == mgr_);
+    refs.push_back(x.ref());
+  }
+  return wrap(mgr_->and_all(refs));
 }
 
 HeaderSet HeaderSet::operator&(const HeaderSet& o) const {
@@ -113,7 +132,12 @@ bool HeaderSet::subset_of(const HeaderSet& o) const {
 
 bool HeaderSet::contains(const PacketHeader& h) const {
   if (!mgr_) return false;
-  return mgr_->eval(ref_, [&h](int v) { return h.bit(v); });
+  // Hot path of tag verification: packed words + inline eval_with — no
+  // std::function, one shift+mask per BDD level.
+  const std::array<std::uint64_t, 2> w = h.bits_packed();
+  return mgr_->eval_with(ref_, [&w](int v) {
+    return (w[static_cast<std::size_t>(v) >> 6] >> (63 - (v & 63))) & 1;
+  });
 }
 
 double HeaderSet::count() const { return mgr_ ? mgr_->sat_count(ref_) : 0.0; }
@@ -141,7 +165,7 @@ std::optional<PacketHeader> HeaderSet::any_member() const {
 
 std::optional<PacketHeader> HeaderSet::sample(Rng& rng) const {
   if (!mgr_) return std::nullopt;
-  auto bits = mgr_->pick_random(ref_, [&rng] { return rng.chance(0.5); });
+  auto bits = mgr_->pick_random_with(ref_, [&rng] { return rng.chance(0.5); });
   if (!bits) return std::nullopt;
   return header_from_bits(*bits);
 }

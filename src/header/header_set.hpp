@@ -36,7 +36,10 @@ class HeaderSet;
 /// Factory + arena for HeaderSets. One per network/path-table instance.
 class HeaderSpace {
  public:
-  HeaderSpace() : mgr_(std::make_shared<BddManager>(kHeaderBits)) {}
+  /// `engine` selects the BddManager internals (kPooled by default;
+  /// kLegacy keeps the pre-rewrite tables for old-vs-new benchmarks).
+  explicit HeaderSpace(Engine engine = Engine::kPooled)
+      : mgr_(std::make_shared<BddManager>(kHeaderBits, engine)) {}
 
   /// The universal set (all headers).
   HeaderSet all() const;
@@ -51,6 +54,15 @@ class HeaderSpace {
   HeaderSet ip_prefix(Field f, const Prefix& p) const;
   /// The singleton set {h}.
   HeaderSet singleton(const PacketHeader& h) const;
+
+  /// Union / intersection of many sets via balanced pairwise reduction —
+  /// keeps intermediate BDDs small (better op-cache locality than a
+  /// left fold). Empty input yields none() / all() respectively.
+  HeaderSet union_all(const std::vector<HeaderSet>& xs) const;
+  HeaderSet intersect_all(const std::vector<HeaderSet>& xs) const;
+
+  /// Pre-size the underlying tables for an expected node count.
+  void reserve(std::size_t nodes) const { mgr_->reserve(nodes); }
 
   /// Underlying manager (for diagnostics: node counts, etc.).
   BddManager& manager() const { return *mgr_; }

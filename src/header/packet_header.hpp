@@ -2,6 +2,7 @@
 // matched against path-table header sets.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -27,6 +28,17 @@ struct PacketHeader {
 
   /// The value of BDD variable `var` (bit `var` of the 104-bit encoding).
   [[nodiscard]] bool bit(int var) const;
+
+  /// The full 104-bit encoding packed MSB-first into two 64-bit words:
+  /// word 0 holds vars 0..63 (src_ip, dst_ip), word 1 bits 63..24 hold
+  /// vars 64..103 (proto, ports). Variable v is bit (63 - v%64) of word
+  /// v/64 — one shift+mask on the per-report membership hot path instead
+  /// of the field walk in `bit`.
+  [[nodiscard]] std::array<std::uint64_t, 2> bits_packed() const {
+    return {(std::uint64_t{src_ip.value} << 32) | dst_ip.value,
+            (std::uint64_t{proto} << 56) | (std::uint64_t{src_port} << 40) |
+                (std::uint64_t{dst_port} << 24)};
+  }
 
   /// "10.0.1.1:1234 -> 10.0.2.1:22 tcp"
   [[nodiscard]] std::string str() const;

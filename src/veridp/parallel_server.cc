@@ -133,12 +133,13 @@ ParallelServer::StreamTotals ParallelServer::verify_stream(
   for (unsigned w = 0; w < n; ++w) {
     pool.emplace_back([&reports, &parts, &snap, chunk, w] {
       const EpochTables tables = snap->view();
+      VerifyMemo memo;  // one snapshot for the whole stream: never cleared
       StreamTotals& t = parts[w];
       const std::size_t lo = static_cast<std::size_t>(w) * chunk;
       const std::size_t hi =
           lo + chunk < reports.size() ? lo + chunk : reports.size();
       for (std::size_t i = lo; i < hi; ++i) {
-        const Verdict v = verify_epoch_aware(reports[i], tables);
+        const Verdict v = verify_epoch_aware(reports[i], tables, &memo);
         ++t.verified;
         if (v.ok())
           ++t.passed;
@@ -235,6 +236,12 @@ bool ParallelServer::submit_datagram(
 void ParallelServer::worker_loop(WorkerStats& ws) {
   std::vector<TagReport> batch;
   batch.reserve(cfg_.batch_size);
+  // Per-worker duplicate-report memo (lock-free by construction). It is
+  // valid for exactly one snapshot; `held` keeps that snapshot alive so
+  // a newly published snapshot can never be allocated at the same
+  // address while stale memo entries still reference the old one.
+  VerifyMemo memo;
+  std::shared_ptr<const EpochSnapshot> held;
   for (;;) {
     const std::size_t n = queue_.pop_batch(batch, cfg_.batch_size);
     if (n == 0) return;  // closed and drained
@@ -242,9 +249,14 @@ void ParallelServer::worker_loop(WorkerStats& ws) {
     // everything behind the pointer is immutable. Epoch-stale reports
     // in the batch still verify against their own epoch via the ring.
     const std::shared_ptr<const EpochSnapshot> snap = snapshot();
+    if (snap != held) {
+      memo.clear();
+      held = snap;
+    }
     const EpochTables tables = snap->view();
+    const std::uint64_t hits_before = memo.hits();
     for (const TagReport& r : batch) {
-      const Verdict v = verify_epoch_aware(r, tables);
+      const Verdict v = verify_epoch_aware(r, tables, &memo);
       ws.verified.fetch_add(1, std::memory_order_relaxed);
       if (v.ok()) {
         ws.passed.fetch_add(1, std::memory_order_relaxed);
@@ -258,6 +270,8 @@ void ParallelServer::worker_loop(WorkerStats& ws) {
         failure_queue_.try_push(r);
       }
     }
+    ws.memo_hits.fetch_add(memo.hits() - hits_before,
+                           std::memory_order_relaxed);
     queue_.task_done(n);
   }
 }
@@ -311,6 +325,7 @@ ParallelHealth ParallelServer::health() const {
     h.passed += ws->passed.load(std::memory_order_relaxed);
     h.failed += ws->failed.load(std::memory_order_relaxed);
     h.stale += ws->stale.load(std::memory_order_relaxed);
+    h.memo_hits += ws->memo_hits.load(std::memory_order_relaxed);
   }
   return h;
 }

@@ -85,6 +85,7 @@ struct ParallelHealth {
   std::uint64_t quarantined = 0;
   std::uint64_t deduped = 0;
   std::uint64_t lost_estimate = 0;
+  std::uint64_t memo_hits = 0;  ///< duplicate reports answered from memo
 
   [[nodiscard]] std::uint64_t accounted() const {
     return passed + failed + stale + shed + quarantined + deduped;
@@ -195,6 +196,7 @@ class ParallelServer {
     std::atomic<std::uint64_t> passed{0};
     std::atomic<std::uint64_t> failed{0};
     std::atomic<std::uint64_t> stale{0};
+    std::atomic<std::uint64_t> memo_hits{0};
   };
 
   /// Per-switch-shard ingest state. Producers for different switches

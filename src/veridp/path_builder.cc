@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 
 namespace veridp {
 
@@ -52,16 +53,48 @@ std::vector<PortKey> ReachIndex::affected_inports(
 
 void ReachIndex::erase_inport(PortKey inport) { reach_.erase(inport); }
 
+// Memo of provider predicates shared across one build()/build_from()
+// call. The traversal visits the same (switch, arrival-port) pair from
+// many entry ports, and each visit re-derives the identical drop
+// predicate and forwarding atoms — each a fresh chain of BDD ANDs inside
+// the provider. Exact nested-map keying (no packed-key collisions);
+// element references are stable under unordered_map growth.
+struct PathTableBuilder::TransferMemo {
+  const TransferProvider* provider;
+
+  static std::uint64_t key(SwitchId s, PortId x) {
+    return (static_cast<std::uint64_t>(s) << 32) | x;
+  }
+
+  const HeaderSet& drop_at(SwitchId s, PortId x) {
+    auto [it, inserted] = drop_.try_emplace(key(s, x));
+    if (inserted) it->second = provider->transfer(s, x, kDropPort);
+    return it->second;
+  }
+
+  const std::vector<FwdAtom>& atoms_at(SwitchId s, PortId x, PortId y) {
+    auto [it, inserted] = atoms_[key(s, x)].try_emplace(y);
+    if (inserted) it->second = provider->atoms(s, x, y);
+    return it->second;
+  }
+
+  std::unordered_map<std::uint64_t, HeaderSet> drop_;
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<PortId, std::vector<FwdAtom>>>
+      atoms_;
+};
+
 // Recursive traversal state: we use an explicit stack to avoid deep
 // recursion on long paths, but path lengths are bounded by the loop
 // cut-off so plain recursion via a helper lambda is fine and clearer.
 void PathTableBuilder::traverse(PathTable& table, PortKey inport,
-                                ReachIndex* reach) const {
+                                ReachIndex* reach, TransferMemo* memo) const {
   struct Walker {
     const PathTableBuilder& b;
     PathTable& table;
     PortKey inport;
     ReachIndex* reach;
+    TransferMemo* memo;
     std::vector<Hop> path;
     std::vector<PortKey> visited;  // arrival ports on the current path
 
@@ -74,7 +107,8 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
 
       // Drop branch (no rewrites can matter for ⊥).
       {
-        HeaderSet hd = h & b.transfer_->transfer(s, x, kDropPort);
+        HeaderSet hd = h & (memo ? memo->drop_at(s, x)
+                                 : b.transfer_->transfer(s, x, kDropPort));
         if (!hd.empty()) {
           const Hop hop{x, s, kDropPort};
           BloomTag tag2 = tag;
@@ -86,7 +120,11 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
       }
 
       for (PortId out = 1; out <= n; ++out) {
-        for (const FwdAtom& atom : b.transfer_->atoms(s, x, out)) {
+        std::vector<FwdAtom> fresh;
+        if (!memo) fresh = b.transfer_->atoms(s, x, out);
+        const std::vector<FwdAtom>& atoms =
+            memo ? memo->atoms_at(s, x, out) : fresh;
+        for (const FwdAtom& atom : atoms) {
           HeaderSet h2 = h & atom.headers;
           if (h2.empty()) continue;
           // Header-rewrite extension (§8): continue with the image.
@@ -117,20 +155,22 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
     }
   };
 
-  Walker w{*this, table, inport, reach, {}, {inport}};
+  Walker w{*this, table, inport, reach, memo, {}, {inport}};
   w.step(inport, space_->all(), BloomTag(tag_bits_));
 }
 
 PathTable PathTableBuilder::build(ReachIndex* reach) const {
   PathTable table;
+  TransferMemo memo{transfer_};
   for (const PortKey& inport : topo_->edge_ports())
-    traverse(table, inport, reach);
+    traverse(table, inport, reach, reuse_ ? &memo : nullptr);
   return table;
 }
 
 void PathTableBuilder::build_from(PathTable& table, PortKey inport,
                                   ReachIndex* reach) const {
-  traverse(table, inport, reach);
+  TransferMemo memo{transfer_};
+  traverse(table, inport, reach, reuse_ ? &memo : nullptr);
 }
 
 }  // namespace veridp

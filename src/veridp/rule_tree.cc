@@ -19,9 +19,14 @@ HeaderSet RuleTree::prefix_set(const Prefix& p) const {
 }
 
 HeaderSet RuleTree::match_of(const Node& n) const {
+  // Union the child prefixes with a balanced reduction and subtract once,
+  // instead of one diff per child over a shrinking remainder.
   HeaderSet m = prefix_set(n.prefix);
-  for (const auto& c : n.children) m -= prefix_set(c->prefix);
-  return m;
+  if (n.children.empty()) return m;
+  std::vector<HeaderSet> kids;
+  kids.reserve(n.children.size());
+  for (const auto& c : n.children) kids.push_back(prefix_set(c->prefix));
+  return m - space_->union_all(kids);
 }
 
 RuleTree::Node* RuleTree::locate_parent(const Prefix& p) const {

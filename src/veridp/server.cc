@@ -25,6 +25,7 @@ void Server::on_rule_event(const RuleEvent& ev) {
   if (mode_ == Mode::kIncremental) {
     updater_->apply(ev);
     table_valid_from_ = epoch_;
+    memo_.clear();  // table mutated in place: cached verdicts are void
   } else {
     if (!dirty_) {
       dirty_ = true;  // lazy rebuild before the next lookup
@@ -61,6 +62,7 @@ void Server::rebuild() {
   }
   table_valid_from_ = epoch_;
   dirty_ = false;
+  memo_.clear();
 }
 
 void Server::sync() {
@@ -100,7 +102,7 @@ EpochTables Server::epoch_tables() const {
 Verdict Server::verify(const TagReport& report) {
   ensure_fresh();
   ++verified_;
-  const Verdict v = verify_epoch_aware(report, epoch_tables());
+  const Verdict v = verify_epoch_aware(report, epoch_tables(), &memo_);
   if (v.ok())
     ++passed_;
   else if (v.status == VerifyStatus::kStaleEpoch)

@@ -92,6 +92,9 @@ class Server {
   [[nodiscard]] std::uint64_t reports_failed() const { return failed_; }
   [[nodiscard]] std::uint64_t reports_stale() const { return stale_; }
 
+  /// Duplicate-report memo effectiveness (see VerifyMemo).
+  [[nodiscard]] std::uint64_t memo_hits() const { return memo_.hits(); }
+
  private:
   struct Snapshot {
     std::uint32_t first_epoch = 0;  ///< valid range, inclusive
@@ -129,6 +132,10 @@ class Server {
   /// Cached non-owning view of `ring_` (refreshed on rebuild) so each
   /// verify() builds its EpochTables without allocating.
   std::vector<EpochTables::Range> ring_view_;
+  /// Duplicate-report fast path. Valid only for the current epoch state:
+  /// cleared on every rebuild AND on every in-place incremental update
+  /// (kIncremental mutates the table without a rebuild).
+  VerifyMemo memo_;
 
   // Health counters.
   std::uint64_t verified_ = 0;

@@ -56,6 +56,60 @@ Verdict verify_epoch_aware(const TagReport& report, const EpochTables& t) {
   return Verdict{VerifyStatus::kStaleEpoch, nullptr, report.epoch};
 }
 
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VerifyMemo::VerifyMemo(std::size_t entries)
+    : slots_(next_pow2(entries == 0 ? 1 : entries)),
+      mask_(slots_.size() - 1) {}
+
+void VerifyMemo::clear() {
+  for (Entry& e : slots_) e.valid = false;
+}
+
+std::size_t VerifyMemo::index(const TagReport& r) const {
+  std::uint64_t h = std::hash<PacketHeader>{}(r.header);
+  h ^= (static_cast<std::uint64_t>(r.inport.sw) << 32 | r.inport.port) *
+       0x9E3779B97F4A7C15ULL;
+  h ^= (static_cast<std::uint64_t>(r.outport.sw) << 32 | r.outport.port) *
+       0xC2B2AE3D27D4EB4FULL;
+  h ^= r.tag.value() * 0x165667B19E3779F9ULL;
+  h ^= static_cast<std::uint64_t>(r.epoch) << 17;
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h) & mask_;
+}
+
+bool VerifyMemo::matches(const Entry& e, const TagReport& r) {
+  return e.valid && e.epoch == r.epoch && e.inport == r.inport &&
+         e.outport == r.outport && e.tag == r.tag && e.header == r.header;
+}
+
+Verdict verify_epoch_aware(const TagReport& report, const EpochTables& t,
+                           VerifyMemo* memo) {
+  if (!memo) return verify_epoch_aware(report, t);
+  ++memo->lookups_;
+  const std::size_t i = memo->index(report);
+  VerifyMemo::Entry& e = memo->slots_[i];
+  if (VerifyMemo::matches(e, report)) {
+    ++memo->hits_;
+    return e.verdict;
+  }
+  const Verdict v = verify_epoch_aware(report, t);
+  e = VerifyMemo::Entry{true,       report.inport, report.outport,
+                        report.header, report.tag, report.epoch,
+                        v};
+  return v;
+}
+
 Verdict Verifier::verify(const TagReport& report) {
   ++total_;
   const Verdict v = check(report, *table_);

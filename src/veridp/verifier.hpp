@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "dataplane/packet.hpp"
 #include "veridp/path_table.hpp"
@@ -88,6 +89,59 @@ struct EpochTables {
 /// any number of threads over the same EpochTables.
 [[nodiscard]] Verdict verify_epoch_aware(const TagReport& report,
                                          const EpochTables& tables);
+
+/// Direct-mapped lossy memo of verify_epoch_aware verdicts, keyed on the
+/// exact report fields the verdict depends on — (inport, outport, header,
+/// tag, epoch); `seq` never affects a verdict and is excluded. Duplicate
+/// sampled headers are common under Fig-9-style sampling (the same flow's
+/// packets hash to the same report); a hit skips the path-list walk and
+/// the BDD membership evaluations entirely, returning a verdict
+/// bit-identical to recomputation (exact key compare — collisions evict,
+/// they can never alias).
+///
+/// A memo is valid only against ONE EpochTables state: the cached
+/// verdicts (including their `matched` pointers) are functions of the
+/// tables, so the OWNER MUST clear() it whenever the tables it verifies
+/// against change, and must keep those tables alive while cached
+/// verdicts are in use. NOT thread-safe — one memo per verifying thread
+/// (the parallel server keeps one per worker).
+class VerifyMemo {
+ public:
+  /// `entries` is rounded up to a power of two.
+  explicit VerifyMemo(std::size_t entries = 1u << 12);
+
+  void clear();
+
+  // Effectiveness counters (diagnostics / bench).
+  [[nodiscard]] std::uint64_t lookups() const { return lookups_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+
+ private:
+  friend Verdict verify_epoch_aware(const TagReport&, const EpochTables&,
+                                    VerifyMemo*);
+  struct Entry {
+    bool valid = false;
+    PortKey inport{};
+    PortKey outport{};
+    PacketHeader header{};
+    BloomTag tag{BloomTag::kDefaultBits};
+    std::uint32_t epoch = 0;
+    Verdict verdict{};
+  };
+  [[nodiscard]] std::size_t index(const TagReport& r) const;
+  [[nodiscard]] static bool matches(const Entry& e, const TagReport& r);
+
+  std::vector<Entry> slots_;
+  std::size_t mask_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+/// Memoizing variant: consults/fills `memo` (may be null — then identical
+/// to the two-argument form). See VerifyMemo for the validity contract.
+[[nodiscard]] Verdict verify_epoch_aware(const TagReport& report,
+                                         const EpochTables& tables,
+                                         VerifyMemo* memo);
 
 class Verifier {
  public:

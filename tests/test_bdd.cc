@@ -200,5 +200,168 @@ INSTANTIATE_TEST_SUITE_P(
                       AlgebraCase{6, 16}, AlgebraCase{7, 24},
                       AlgebraCase{8, 32}));
 
+// ---- Unique-table key collision regressions ---------------------------
+//
+// The legacy table keyed nodes by `var<<48 ^ low<<24 ^ high`, which
+// collides as soon as an index field crosses 2^24. These tests pin the
+// fixed property — full-triple identity — by injecting exactly the
+// triple shapes that collided, via the raw-intern hook (no need to
+// allocate 16M real nodes).
+
+TEST(BddCollision, HighFieldOverflowTriplesStayDistinct) {
+  BddManager m(4);
+  ASSERT_EQ(m.engine(), Engine::kPooled);
+  // Legacy keys: (0<<48) ^ (1<<24) ^ 0x1000001 == 1 and
+  //              (0<<48) ^ (2<<24) ^ 0x2000001 == 1 — same key, and the
+  // legacy map would have returned the first node for the second triple.
+  const BddRef a = m.intern_raw_for_test(0, 1, 0x1000001);
+  const BddRef b = m.intern_raw_for_test(0, 2, 0x2000001);
+  EXPECT_NE(a, b);
+  // Idempotence: re-interning each triple yields the same ref.
+  EXPECT_EQ(m.intern_raw_for_test(0, 1, 0x1000001), a);
+  EXPECT_EQ(m.intern_raw_for_test(0, 2, 0x2000001), b);
+}
+
+TEST(BddCollision, VarFieldAliasingTriplesStayDistinct) {
+  BddManager m(4);
+  // Legacy keys: (1<<48) ^ (0<<24) ^ 2 and (0<<48) ^ ((1<<24)<<24) ^ 2
+  // coincide (the low field shifted into the var field's bits).
+  const BddRef a = m.intern_raw_for_test(1, 0, 2);
+  const BddRef b = m.intern_raw_for_test(0, 1 << 24, 2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.intern_raw_for_test(1, 0, 2), a);
+  EXPECT_EQ(m.intern_raw_for_test(0, 1 << 24, 2), b);
+}
+
+TEST(BddCollision, ManyCollidingShapesAllDistinct) {
+  // A whole family mapping to legacy key 0x1: (0, i, i<<24 | 1).
+  BddManager m(4);
+  std::vector<BddRef> refs;
+  for (BddRef i = 1; i <= 64; ++i)
+    refs.push_back(m.intern_raw_for_test(0, i, (i << 24) | 1));
+  for (std::size_t i = 0; i < refs.size(); ++i)
+    for (std::size_t j = i + 1; j < refs.size(); ++j)
+      ASSERT_NE(refs[i], refs[j]) << i << "," << j;
+  for (BddRef i = 1; i <= 64; ++i)
+    ASSERT_EQ(m.intern_raw_for_test(0, i, (i << 24) | 1),
+              refs[static_cast<std::size_t>(i - 1)]);
+}
+
+TEST(BddCollision, DegradedHashKeepsCanonicityAndSemantics) {
+  // Truncating every hash to 2 bits forces massive probe clustering; the
+  // table must still behave identically because probes compare the full
+  // triple, never the hash.
+  BddManager good(8);
+  BddManager bad(8);
+  bad.degrade_hash_for_test(2);
+  Rng rng(0xC0111De);
+  std::vector<BddRef> gs, bs;
+  for (int round = 0; round < 200; ++round) {
+    const int v1 = static_cast<int>(rng.index(8));
+    const int v2 = static_cast<int>(rng.index(8));
+    const bool shape = rng.chance(0.5);  // one draw, applied to both
+    const BddRef g =
+        shape ? good.apply_or(good.var(v1), good.apply_and(good.var(v2),
+                                                           good.nvar(v1)))
+              : good.apply_xor(good.var(v1), good.var(v2));
+    const BddRef b =
+        shape ? bad.apply_or(bad.var(v1), bad.apply_and(bad.var(v2),
+                                                        bad.nvar(v1)))
+              : bad.apply_xor(bad.var(v1), bad.var(v2));
+    gs.push_back(g);
+    bs.push_back(b);
+  }
+  // Node creation order is deterministic, so refs must agree exactly.
+  EXPECT_EQ(gs, bs);
+  EXPECT_EQ(good.node_count(), bad.node_count());
+}
+
+TEST(BddCollision, LegacyEngineStillExhibitsTheOldKeying) {
+  // Documents what kLegacy preserves: the raw-intern hook really does
+  // merge colliding triples there (which is why benchmarks against it
+  // are honest old-vs-new comparisons on real workloads, where indices
+  // stay below 2^24).
+  BddManager m(4, Engine::kLegacy);
+  const BddRef a = m.intern_raw_for_test(0, 1, 0x1000001);
+  const BddRef b = m.intern_raw_for_test(0, 2, 0x2000001);
+  EXPECT_EQ(a, b);  // the latent bug, pinned as legacy-only behavior
+}
+
+TEST(BddEngines, IdenticalCallSequencesYieldIdenticalRefs) {
+  // Both engines create nodes in the same deterministic order, so the
+  // same op sequence must produce bit-identical refs — the property the
+  // old-vs-new oracle tests and benchmarks rely on.
+  BddManager pooled(12, Engine::kPooled);
+  BddManager legacy(12, Engine::kLegacy);
+  Rng rng(0xE61AE);
+  std::vector<BddRef> pool_p{kBddTrue}, pool_l{kBddTrue};
+  for (int step = 0; step < 400; ++step) {
+    const std::size_t i = rng.index(pool_p.size());
+    const std::size_t j = rng.index(pool_p.size());
+    const int v = static_cast<int>(rng.index(12));
+    BddRef p = 0, l = 0;
+    switch (rng.index(6)) {
+      case 0:
+        p = pooled.apply_and(pool_p[i], pooled.var(v));
+        l = legacy.apply_and(pool_l[i], legacy.var(v));
+        break;
+      case 1:
+        p = pooled.apply_or(pool_p[i], pool_p[j]);
+        l = legacy.apply_or(pool_l[i], pool_l[j]);
+        break;
+      case 2:
+        p = pooled.apply_xor(pool_p[i], pool_p[j]);
+        l = legacy.apply_xor(pool_l[i], pool_l[j]);
+        break;
+      case 3:
+        p = pooled.apply_not(pool_p[i]);
+        l = legacy.apply_not(pool_l[i]);
+        break;
+      case 4: {
+        const int count = 1 + static_cast<int>(rng.index(3));
+        p = pooled.exists(pool_p[i], v, count);
+        l = legacy.exists(pool_l[i], v, count);
+        break;
+      }
+      default: {
+        const std::uint64_t bits = rng.uniform(0, 4095);
+        p = pooled.cube(0, bits, 12, 12);
+        l = legacy.cube(0, bits, 12, 12);
+        break;
+      }
+    }
+    ASSERT_EQ(p, l) << "step " << step;
+    pool_p.push_back(p);
+    pool_l.push_back(l);
+  }
+  EXPECT_EQ(pooled.node_count(), legacy.node_count());
+}
+
+TEST(BddEngines, ReservePreservesResultsAndGrowsCapacity) {
+  BddManager m(16);
+  const std::size_t before = m.unique_capacity();
+  m.reserve(200000);
+  EXPECT_GT(m.unique_capacity(), before);
+  // 200k nodes fit under the 0.7 load factor without further growth.
+  EXPECT_GE(m.unique_capacity() * 7, 200000u * 10);
+  // Still canonical and correct after the pre-size.
+  const BddRef a = m.apply_and(m.var(0), m.var(1));
+  EXPECT_EQ(a, m.apply_and(m.var(1), m.var(0)));
+  EXPECT_TRUE(m.eval(a, std::vector<bool>(16, true)));
+}
+
+TEST(BddEngines, CubeOntoMatchesApplyAndOfCubes) {
+  BddManager m(24);
+  Rng rng(0xCBE0);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t hi_bits = rng.uniform(0, 255);
+    const std::uint64_t lo_bits = rng.uniform(0, 65535);
+    const BddRef tail = m.cube(8, lo_bits, 16, 16);
+    const BddRef chained = m.cube_onto(tail, 0, hi_bits, 8, 8);
+    const BddRef applied = m.apply_and(m.cube(0, hi_bits, 8, 8), tail);
+    ASSERT_EQ(chained, applied);
+  }
+}
+
 }  // namespace
 }  // namespace veridp

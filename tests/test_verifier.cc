@@ -154,6 +154,54 @@ TEST(Verifier, WrongExitPortIsNoPath) {
   EXPECT_EQ(v.verify(forged).status, VerifyStatus::kNoPath);
 }
 
+TEST(Verifier, MemoizedVerdictsBitIdenticalToUnmemoized) {
+  // VerifyMemo is a pure fast path: on a duplicate-heavy stream with a
+  // mix of passing, failing and forged reports, the memoized verdicts
+  // must be bit-identical (status, matched pointer, epoch) to the
+  // unmemoized ones — and duplicates must actually hit.
+  Deployment d(fat_tree(4));
+  EpochTables tables;
+  tables.current = &d.table;
+
+  std::vector<TagReport> stream;
+  Rng rng(42);
+  for (const auto& flow : workload::random_flows(d.topo, rng, 60)) {
+    const auto r = d.net.inject(flow.header, flow.entry);
+    for (const TagReport& rep : r.reports) {
+      stream.push_back(rep);
+      TagReport bad = rep;  // corrupted tag: same key fields but mismatch
+      bad.tag |= BloomTag::of_hop(Hop{9, 99, 9}, bad.tag.bits());
+      stream.push_back(bad);
+      TagReport wrong_exit = rep;
+      wrong_exit.outport = PortKey{rep.outport.sw, rep.outport.port + 1};
+      stream.push_back(wrong_exit);
+    }
+  }
+  // Duplicate the whole stream (Fig-9-style resampling of hot flows),
+  // with varying seq to prove seq never affects memo keys or verdicts.
+  const std::size_t unique = stream.size();
+  for (std::size_t i = 0; i < unique; ++i) {
+    TagReport dup = stream[i];
+    dup.seq += 1000;
+    stream.push_back(dup);
+  }
+
+  VerifyMemo memo;
+  std::uint64_t hits = 0;
+  for (const TagReport& rep : stream) {
+    const Verdict plain = verify_epoch_aware(rep, tables);
+    const Verdict memoized = verify_epoch_aware(rep, tables, &memo);
+    EXPECT_EQ(memoized.status, plain.status);
+    EXPECT_EQ(memoized.matched, plain.matched);  // same entry pointer
+    EXPECT_EQ(memoized.epoch, plain.epoch);
+    hits = memo.hits();
+  }
+  // Every report in the duplicated half was seen before; the first half
+  // may also self-duplicate. Either way the memo must have fired a lot.
+  EXPECT_GE(hits, unique / 2);
+  EXPECT_EQ(memo.lookups(), stream.size());
+}
+
 // Tag-width sweep: verification stays false-positive-free at any width.
 class VerifierWidth : public ::testing::TestWithParam<int> {};
 
