@@ -1,13 +1,27 @@
 #include "bdd/bdd.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
-#include <mutex>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
 namespace veridp {
 
 namespace {
+
+#if defined(VERIDP_BDD_CHECK_ARENA)
+// Arena generations are handed out round-robin from a process-wide
+// counter; 0 is reserved (an untagged handle can never pass check_ref).
+// The 7-bit space wraps after 127 live managers — acceptable for a
+// debug mode whose job is catching the common one-snapshot-off bug.
+std::atomic<std::uint32_t> g_arena_counter{0};
+
+std::uint32_t next_arena_generation() {
+  return 1 + g_arena_counter.fetch_add(1, std::memory_order_relaxed) % 127;
+}
+#endif
 
 // Initial geometry (DESIGN.md §7). The unique table starts at 64Ki slots
 // (256 KiB) and doubles at 70% load; the op cache starts at 16Ki entries
@@ -22,6 +36,9 @@ constexpr std::size_t kOpCacheMaxEntries = std::size_t{1} << 20;
 // class the pooled engine's full-triple keying eliminates; preserved
 // verbatim for old-vs-new benchmarking.
 std::uint64_t pack_unique(std::int32_t var, BddRef low, BddRef high) {
+  // The documented legacy collision class above -- kept verbatim so the
+  // old-vs-new benchmark measures the real historical behaviour.
+  // veridp-lint: allow(xor-hash-key)
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(var)) << 48) ^
          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(low)) << 24) ^
          static_cast<std::uint64_t>(static_cast<std::uint32_t>(high));
@@ -38,6 +55,9 @@ std::size_t next_pow2(std::size_t n) {
 BddManager::BddManager(int num_vars, Engine engine)
     : engine_(engine), num_vars_(num_vars) {
   assert(num_vars >= 0 && num_vars < (1 << 15));
+#if defined(VERIDP_BDD_CHECK_ARENA)
+  arena_gen_ = next_arena_generation();
+#endif
   // Terminal nodes: index 0 = FALSE, 1 = TRUE. Their var is num_vars_ so
   // that terminals sort below every real variable. Terminals are never
   // interned, which is what lets slot value 0 mean "empty".
@@ -67,6 +87,9 @@ std::uint64_t BddManager::hash_triple(std::int32_t var, BddRef low,
 
 std::size_t BddManager::cache_index(std::uint32_t op, BddRef a,
                                     BddRef b) const {
+  // Operands are odd-multiplied before folding and the result is only
+  // a direct-mapped cache index -- collisions evict, they never alias
+  // (the slot stores the full triple). veridp-lint: allow(xor-hash-key)
   std::uint64_t h = (static_cast<std::uint64_t>(op) << 60) ^
                     static_cast<std::uint32_t>(a) * 0xFF51AFD7ED558CCDULL ^
                     static_cast<std::uint32_t>(b) * 0xC4CEB9FE1A85EC53ULL;
@@ -170,8 +193,24 @@ BddRef BddManager::make_node(std::int32_t var, BddRef low, BddRef high) {
 
 BddRef BddManager::intern_raw_for_test(std::int32_t var, BddRef low,
                                        BddRef high) {
+  // Deliberately exempt from arena tagging/checking: collision tests feed
+  // synthetic index patterns that are not real handles, and the returned
+  // ref is only ever compared for identity (see the header contract).
   return make_node(var, low, high);
 }
+
+#if defined(VERIDP_BDD_CHECK_ARENA)
+void BddManager::die_cross_arena(const char* op, BddRef tagged,
+                                 std::uint32_t got) const {
+  std::fprintf(stderr,
+               "veridp: cross-arena BddRef in BddManager::%s: handle "
+               "0x%08x carries arena generation %u but this manager is "
+               "generation %u — the ref was minted by a different "
+               "BddManager (e.g. another epoch snapshot's arena)\n",
+               op, static_cast<unsigned>(tagged), got, arena_gen_);
+  std::abort();
+}
+#endif
 
 void BddManager::degrade_hash_for_test(int keep_bits) {
   assert(engine_ == Engine::kPooled);
@@ -182,12 +221,12 @@ void BddManager::degrade_hash_for_test(int keep_bits) {
 
 BddRef BddManager::var(int v) {
   assert(v >= 0 && v < num_vars_);
-  return make_node(v, kBddFalse, kBddTrue);
+  return tag_ref(make_node(v, kBddFalse, kBddTrue));
 }
 
 BddRef BddManager::nvar(int v) {
   assert(v >= 0 && v < num_vars_);
-  return make_node(v, kBddTrue, kBddFalse);
+  return tag_ref(make_node(v, kBddTrue, kBddFalse));
 }
 
 bool BddManager::terminal_case(Op op, BddRef a, BddRef b, BddRef& out) {
@@ -231,6 +270,8 @@ BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
   const bool legacy = engine_ == Engine::kLegacy;
   CacheKey legacy_key{0};
   if (legacy) {
+    // Legacy-engine key, preserved verbatim (see pack_unique).
+    // veridp-lint: allow(xor-hash-key)
     legacy_key =
         CacheKey{(static_cast<std::uint64_t>(static_cast<int>(op)) << 60) ^
                  (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
@@ -264,19 +305,37 @@ BddRef BddManager::apply(Op op, BddRef a, BddRef b) {
   return result;
 }
 
-BddRef BddManager::apply_and(BddRef a, BddRef b) { return apply(Op::And, a, b); }
-BddRef BddManager::apply_or(BddRef a, BddRef b) { return apply(Op::Or, a, b); }
-BddRef BddManager::apply_xor(BddRef a, BddRef b) { return apply(Op::Xor, a, b); }
+// Public Boolean-algebra entry points: arena-check incoming handles,
+// tag outgoing ones; the recursion below them works on raw pool indices.
+BddRef BddManager::apply_and(BddRef a, BddRef b) {
+  return tag_ref(
+      apply(Op::And, check_ref(a, "apply_and"), check_ref(b, "apply_and")));
+}
+BddRef BddManager::apply_or(BddRef a, BddRef b) {
+  return tag_ref(
+      apply(Op::Or, check_ref(a, "apply_or"), check_ref(b, "apply_or")));
+}
+BddRef BddManager::apply_xor(BddRef a, BddRef b) {
+  return tag_ref(
+      apply(Op::Xor, check_ref(a, "apply_xor"), check_ref(b, "apply_xor")));
+}
 BddRef BddManager::apply_diff(BddRef a, BddRef b) {
-  return apply(Op::Diff, a, b);
+  return tag_ref(
+      apply(Op::Diff, check_ref(a, "apply_diff"), check_ref(b, "apply_diff")));
 }
 
 BddRef BddManager::apply_not(BddRef a) {
+  return tag_ref(apply_not_rec(check_ref(a, "apply_not")));
+}
+
+BddRef BddManager::apply_not_rec(BddRef a) {
   if (a == kBddFalse) return kBddTrue;
   if (a == kBddTrue) return kBddFalse;
   const bool legacy = engine_ == Engine::kLegacy;
   CacheKey legacy_key{0};
   if (legacy) {
+    // Legacy-engine key, preserved verbatim (see pack_unique).
+    // veridp-lint: allow(xor-hash-key)
     legacy_key = CacheKey{
         (static_cast<std::uint64_t>(static_cast<int>(Op::Not)) << 60) ^
         static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))};
@@ -287,7 +346,7 @@ BddRef BddManager::apply_not(BddRef a) {
   }
   const Node na = nodes_[static_cast<std::size_t>(a)];
   const BddRef result =
-      make_node(na.var, apply_not(na.low), apply_not(na.high));
+      make_node(na.var, apply_not_rec(na.low), apply_not_rec(na.high));
   if (legacy)
     op_cache_.emplace(legacy_key, result);
   else
@@ -318,29 +377,31 @@ double BddManager::sat_count(BddRef a) const {
   // warm-up: a warm root is answered under the shared lock; only a cold
   // root takes the exclusive side and fills the memo (cold diagnostic
   // path, contention irrelevant).
+  a = check_ref(a, "sat_count");
   if (a == kBddFalse) return 0.0;
   if (a == kBddTrue) return std::exp2(num_vars_);
   const Node& root = nodes_[static_cast<std::size_t>(a)];
   {
-    std::shared_lock<std::shared_mutex> lk(count_mu_);
+    ReaderLock lk(count_mu_);
     if (auto it = count_cache_.find(a); it != count_cache_.end())
       return it->second * std::exp2(root.var);
   }
-  std::unique_lock<std::shared_mutex> lk(count_mu_);
-  std::function<double(BddRef)> rec = [&](BddRef r) -> double {
-    if (r == kBddFalse) return 0.0;
-    if (r == kBddTrue) return 1.0;
-    if (auto it = count_cache_.find(r); it != count_cache_.end())
-      return it->second;
-    const Node& n = nodes_[static_cast<std::size_t>(r)];
-    const Node& lo = nodes_[static_cast<std::size_t>(n.low)];
-    const Node& hi = nodes_[static_cast<std::size_t>(n.high)];
-    const double c = rec(n.low) * std::exp2(lo.var - n.var - 1) +
-                     rec(n.high) * std::exp2(hi.var - n.var - 1);
-    count_cache_.emplace(r, c);
-    return c;
-  };
-  return rec(a) * std::exp2(root.var);
+  WriterLock lk(count_mu_);
+  return sat_count_rec(a) * std::exp2(root.var);
+}
+
+double BddManager::sat_count_rec(BddRef r) const {
+  if (r == kBddFalse) return 0.0;
+  if (r == kBddTrue) return 1.0;
+  if (auto it = count_cache_.find(r); it != count_cache_.end())
+    return it->second;
+  const Node& n = nodes_[static_cast<std::size_t>(r)];
+  const Node& lo = nodes_[static_cast<std::size_t>(n.low)];
+  const Node& hi = nodes_[static_cast<std::size_t>(n.high)];
+  const double c = sat_count_rec(n.low) * std::exp2(lo.var - n.var - 1) +
+                   sat_count_rec(n.high) * std::exp2(hi.var - n.var - 1);
+  count_cache_.emplace(r, c);
+  return c;
 }
 
 std::optional<std::vector<bool>> BddManager::pick_one(BddRef a) const {
@@ -354,7 +415,7 @@ std::optional<std::vector<bool>> BddManager::pick_random(
 
 std::size_t BddManager::size(BddRef a) const {
   std::unordered_set<BddRef> seen;
-  std::vector<BddRef> stack{a};
+  std::vector<BddRef> stack{check_ref(a, "size")};
   while (!stack.empty()) {
     const BddRef r = stack.back();
     stack.pop_back();
@@ -371,28 +432,32 @@ BddRef BddManager::and_all(const std::vector<BddRef>& xs) {
   // Balanced pairwise reduction: intermediate conjunctions stay small
   // and structurally similar, so the op cache hits far more often than
   // under the left-fold accumulate.
-  std::vector<BddRef> cur = xs;
+  std::vector<BddRef> cur;
+  cur.reserve(xs.size());
+  for (const BddRef x : xs) cur.push_back(check_ref(x, "and_all"));
   while (cur.size() > 1) {
     std::size_t o = 0;
     for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
-      cur[o++] = apply_and(cur[i], cur[i + 1]);
+      cur[o++] = apply(Op::And, cur[i], cur[i + 1]);
     if (cur.size() & 1) cur[o++] = cur.back();
     cur.resize(o);
   }
-  return cur.front();
+  return tag_ref(cur.front());
 }
 
 BddRef BddManager::or_all(const std::vector<BddRef>& xs) {
   if (xs.empty()) return kBddFalse;
-  std::vector<BddRef> cur = xs;
+  std::vector<BddRef> cur;
+  cur.reserve(xs.size());
+  for (const BddRef x : xs) cur.push_back(check_ref(x, "or_all"));
   while (cur.size() > 1) {
     std::size_t o = 0;
     for (std::size_t i = 0; i + 1 < cur.size(); i += 2)
-      cur[o++] = apply_or(cur[i], cur[i + 1]);
+      cur[o++] = apply(Op::Or, cur[i], cur[i + 1]);
     if (cur.size() & 1) cur[o++] = cur.back();
     cur.resize(o);
   }
-  return cur.front();
+  return tag_ref(cur.front());
 }
 
 BddRef BddManager::cube(int first_var, std::uint64_t bits, int width,
@@ -405,20 +470,24 @@ BddRef BddManager::cube_onto(BddRef tail, int first_var, std::uint64_t bits,
   assert(len >= 0 && len <= width);
   assert(first_var + width <= num_vars_);
   // Ordered-BDD invariant: the continuation must live strictly below the
-  // constrained range.
+  // constrained range. (top_var arena-checks `tail` itself.)
   assert(tail <= kBddTrue || top_var(tail) > first_var + len - 1);
   // Build bottom-up from the deepest constrained variable so each level is
   // a single make_node — no apply() and thus no cache pressure.
-  BddRef acc = tail;
+  BddRef acc = check_ref(tail, "cube_onto");
   for (int i = len - 1; i >= 0; --i) {
     const bool bit = (bits >> (width - 1 - i)) & 1;
     const std::int32_t v = first_var + i;
     acc = bit ? make_node(v, kBddFalse, acc) : make_node(v, acc, kBddFalse);
   }
-  return acc;
+  return tag_ref(acc);
 }
 
 BddRef BddManager::exists(BddRef a, int first_var, int count) {
+  return tag_ref(exists_rec(check_ref(a, "exists"), first_var, count));
+}
+
+BddRef BddManager::exists_rec(BddRef a, int first_var, int count) {
   if (a <= kBddTrue || count <= 0) return a;
   const int last = first_var + count - 1;
   const bool legacy = engine_ == Engine::kLegacy;
@@ -428,6 +497,8 @@ BddRef BddManager::exists(BddRef a, int first_var, int count) {
   const BddRef range_enc =
       static_cast<BddRef>((first_var << 16) | (count & 0xFFFF));
   if (legacy) {
+    // Legacy-engine key, preserved verbatim (see pack_unique).
+    // veridp-lint: allow(xor-hash-key)
     legacy_key =
         CacheKey{(std::uint64_t{0xEull} << 60) ^
                  (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a))
@@ -447,11 +518,11 @@ BddRef BddManager::exists(BddRef a, int first_var, int count) {
     result = a;  // whole range is above this subtree: nothing to forget
   } else if (n.var >= first_var) {
     // Quantified variable: either branch may realize it.
-    result = apply_or(exists(n.low, first_var, count),
-                      exists(n.high, first_var, count));
+    result = apply(Op::Or, exists_rec(n.low, first_var, count),
+                   exists_rec(n.high, first_var, count));
   } else {
-    result = make_node(n.var, exists(n.low, first_var, count),
-                       exists(n.high, first_var, count));
+    result = make_node(n.var, exists_rec(n.low, first_var, count),
+                       exists_rec(n.high, first_var, count));
   }
   if (legacy)
     op_cache_.emplace(legacy_key, result);
@@ -461,7 +532,7 @@ BddRef BddManager::exists(BddRef a, int first_var, int count) {
 }
 
 int BddManager::top_var(BddRef a) const {
-  return nodes_[static_cast<std::size_t>(a)].var;
+  return nodes_[static_cast<std::size_t>(check_ref(a, "top_var"))].var;
 }
 
 std::string BddManager::dump(BddRef a) const {
@@ -469,7 +540,7 @@ std::string BddManager::dump(BddRef a) const {
   if (a == kBddTrue) return "TRUE";
   std::string out;
   std::unordered_set<BddRef> seen;
-  std::vector<BddRef> stack{a};
+  std::vector<BddRef> stack{check_ref(a, "dump")};
   while (!stack.empty()) {
     const BddRef r = stack.back();
     stack.pop_back();

@@ -64,17 +64,34 @@
 //     reallocate the store readers are walking. The parallel server
 //     therefore builds each published path-table snapshot in a fresh
 //     manager and never mutates one that readers hold.
+//
+// BDD_CHECK_ARENA (opt-in, compile with -DVERIDP_BDD_CHECK_ARENA): every
+// non-terminal BddRef a manager hands out is tagged with that manager's
+// 7-bit arena generation in bits 24..30 of the handle; every ref a
+// manager receives is checked against its own generation, and a mismatch
+// aborts with a diagnostic. This is the runtime twin of the
+// `bare-bddref-member` lint rule (tools/veridp_lint.py): the lint stops
+// code from *storing* refs without arena provenance, the check catches a
+// ref that nonetheless crosses arenas at the eval/apply boundary — e.g.
+// a handle minted in one epoch snapshot's arena evaluated against
+// another's. Terminals (FALSE/TRUE) are arena-free by construction and
+// cannot be checked. Not for production builds: it caps the pool at
+// 2^24 nodes and the 7-bit generation wraps after 127 managers.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace veridp {
+
+// veridp-lint: hot-path
 
 /// Handle to a BDD node inside a BddManager.
 using BddRef = std::int32_t;
@@ -132,6 +149,7 @@ class BddManager {
   /// std::function indirection, O(path length), allocates nothing.
   template <class BitFn>
   bool eval_with(BddRef a, BitFn&& bit) const {
+    a = check_ref(a, "eval_with");
     while (a > kBddTrue) {
       const Node& n = nodes_[static_cast<std::size_t>(a)];
       a = bit(n.var) ? n.high : n.low;
@@ -144,13 +162,14 @@ class BddManager {
   bool eval(BddRef a, const std::vector<bool>& bits) const;
   /// Type-erased convenience overload (cold paths; hot paths should use
   /// eval_with).
+  // veridp-lint: allow(hot-path-std-function) documented cold-path overload
   bool eval(BddRef a, const std::function<bool(int)>& bit) const;
 
   /// Number of satisfying assignments over all num_vars() variables,
   /// as a double (the count can exceed 2^64 for 104-var headers).
-  /// Memoized behind an internal shared_mutex: safe to call concurrently
+  /// Memoized behind an internal shared mutex: safe to call concurrently
   /// with the read-only ops (see the thread-safety contract above).
-  double sat_count(BddRef a) const;
+  double sat_count(BddRef a) const EXCLUDES(count_mu_);
 
   /// Picks one satisfying assignment; returns nullopt iff a == FALSE.
   /// Unconstrained variables are set to 0.
@@ -161,6 +180,7 @@ class BddManager {
   template <class CoinFn>
   std::optional<std::vector<bool>> pick_random_with(BddRef a,
                                                     CoinFn&& coin) const {
+    a = check_ref(a, "pick_random_with");
     if (a == kBddFalse) return std::nullopt;
     std::vector<bool> bits(static_cast<std::size_t>(num_vars_));
     for (int v = 0; v < num_vars_; ++v)
@@ -182,6 +202,7 @@ class BddManager {
   }
 
   /// Type-erased pick_random (cold paths).
+  // veridp-lint: allow(hot-path-std-function) documented cold-path overload
   std::optional<std::vector<bool>> pick_random(
       BddRef a, const std::function<bool()>& coin) const;
 
@@ -221,10 +242,12 @@ class BddManager {
   /// Structural cofactors of the root node (terminals return themselves).
   /// Read-only: lets tools/tests expand a BDD without re-evaluating.
   BddRef low_of(BddRef a) const {
-    return nodes_[static_cast<std::size_t>(a)].low;
+    return tag_ref(
+        nodes_[static_cast<std::size_t>(check_ref(a, "low_of"))].low);
   }
   BddRef high_of(BddRef a) const {
-    return nodes_[static_cast<std::size_t>(a)].high;
+    return tag_ref(
+        nodes_[static_cast<std::size_t>(check_ref(a, "high_of"))].high);
   }
 
   /// Human-readable dump (for debugging small BDDs).
@@ -290,7 +313,41 @@ class BddManager {
   BddRef make_node(std::int32_t var, BddRef low, BddRef high);
   BddRef intern(std::int32_t var, BddRef low, BddRef high);
   BddRef apply(Op op, BddRef a, BddRef b);
+  BddRef apply_not_rec(BddRef a);
+  BddRef exists_rec(BddRef a, int first_var, int count);
+  double sat_count_rec(BddRef r) const REQUIRES(count_mu_);
   static bool terminal_case(Op op, BddRef a, BddRef b, BddRef& out);
+
+  // -- BDD_CHECK_ARENA helpers ----------------------------------------------
+  // tag_ref stamps an outgoing non-terminal handle with this manager's
+  // arena generation; check_ref verifies an incoming handle and strips
+  // the stamp (aborting on a cross-arena mismatch). In normal builds
+  // both are the identity and vanish entirely.
+#if defined(VERIDP_BDD_CHECK_ARENA)
+  static constexpr int kArenaShift = 24;
+  static constexpr BddRef kArenaIndexMask = (BddRef{1} << kArenaShift) - 1;
+
+  BddRef tag_ref(BddRef raw) const {
+    if (raw <= kBddTrue) return raw;
+    assert(raw <= kArenaIndexMask &&
+           "BDD_CHECK_ARENA caps the node pool at 2^24 nodes");
+    return raw | static_cast<BddRef>(arena_gen_ << kArenaShift);
+  }
+  BddRef check_ref(BddRef tagged, const char* op) const {
+    if (tagged <= kBddTrue) return tagged;
+    const std::uint32_t gen =
+        static_cast<std::uint32_t>(tagged) >> kArenaShift;
+    if (gen != arena_gen_) die_cross_arena(op, tagged, gen);
+    return tagged & kArenaIndexMask;
+  }
+  [[noreturn]] void die_cross_arena(const char* op, BddRef tagged,
+                                    std::uint32_t got) const;
+#else
+  static constexpr BddRef tag_ref(BddRef r) { return r; }
+  static constexpr BddRef check_ref(BddRef r, const char* /*op*/) {
+    return r;
+  }
+#endif
 
   std::uint64_t hash_triple(std::int32_t var, BddRef low, BddRef high) const;
   std::size_t cache_index(std::uint32_t op, BddRef a, BddRef b) const;
@@ -324,8 +381,16 @@ class BddManager {
   // under count_mu_ from the logically-const sat_count; warm lookups
   // take the shared side, so concurrent readers (e.g. HeaderSet::count
   // from verification threads) proceed in parallel after warm-up.
-  mutable std::shared_mutex count_mu_;
-  mutable std::unordered_map<BddRef, double> count_cache_;
+  // GUARDED_BY makes the contract compiler-checked: any new code path
+  // touching the memo without the capability fails the clang-strict
+  // build instead of racing at runtime.
+  mutable SharedMutex count_mu_;
+  mutable std::unordered_map<BddRef, double> count_cache_
+      GUARDED_BY(count_mu_);
+
+#if defined(VERIDP_BDD_CHECK_ARENA)
+  std::uint32_t arena_gen_;  ///< 1..127, assigned at construction
+#endif
 };
 
 }  // namespace veridp

@@ -16,6 +16,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 /// A Bloom filter of up to 64 bits, stored inline. Value type.
 class BloomTag {
  public:

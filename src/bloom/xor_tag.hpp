@@ -19,6 +19,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 class XorHashTag {
  public:
   explicit XorHashTag(int bits = 16) : bits_(bits) {}

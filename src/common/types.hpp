@@ -69,6 +69,9 @@ struct std::hash<veridp::PortKey> {
 template <>
 struct std::hash<veridp::Hop> {
   std::size_t operator()(const veridp::Hop& h) const noexcept {
+    // Port and switch ids are < 2^20, so the shifted lanes are disjoint
+    // (XOR is OR here) and the splitmix64 finalizer below does the
+    // mixing. veridp-lint: allow(xor-hash-key)
     std::uint64_t a = (static_cast<std::uint64_t>(h.in) << 40) ^
                       (static_cast<std::uint64_t>(h.sw) << 20) ^ h.out;
     // 64-bit mix (splitmix64 finalizer).

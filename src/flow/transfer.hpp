@@ -28,6 +28,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 /// One forwarding class of a (x, y) port pair: the headers it admits
 /// and the rewrite it applies on output. Rules without set-field actions
 /// all share a single empty-rewrite atom.

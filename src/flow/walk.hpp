@@ -11,6 +11,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 /// Walks `configs` (indexed by SwitchId) from `entry`. The returned
 /// sequence ends with a hop whose output is an edge port or kDropPort,
 /// or is cut after `max_hops` (loops).

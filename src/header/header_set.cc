@@ -5,6 +5,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 HeaderSet HeaderSpace::wrap(BddRef r) const { return HeaderSet(mgr_, r); }
 
 HeaderSet HeaderSpace::all() const { return wrap(kBddTrue); }

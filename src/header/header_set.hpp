@@ -31,6 +31,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 class HeaderSet;
 
 /// Factory + arena for HeaderSets. One per network/path-table instance.

@@ -12,6 +12,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 /// A fully-specified 5-tuple header.
 struct PacketHeader {
   Ipv4 src_ip{};

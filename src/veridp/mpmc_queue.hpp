@@ -14,15 +14,21 @@
 // *processing* (not merely popping) n items, and wait_idle() blocks
 // until every pushed item has been fully processed — which is what lets
 // drain() distinguish "queue empty" from "work finished".
+//
+// Thread-safety contract, machine-checked (DESIGN.md §8): every mutable
+// member is GUARDED_BY(mu_); under the clang-strict preset an access
+// outside a MutexLock scope fails the build.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
+
 namespace veridp {
+
+// veridp-lint: hot-path
 
 template <typename T>
 class BoundedMpmcQueue {
@@ -32,9 +38,9 @@ class BoundedMpmcQueue {
 
   /// Enqueues unless the queue is full or closed. Never blocks — the
   /// caller (ingest shedding) decides what to do with a rejected item.
-  bool try_push(T v) {
+  bool try_push(T v) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (closed_ || q_.size() >= cap_) return false;
       q_.push_back(std::move(v));
       ++unfinished_;
@@ -46,10 +52,10 @@ class BoundedMpmcQueue {
   /// Pops up to `max` items into `out` (cleared first). Blocks until at
   /// least one item is available or the queue is closed. Returns the
   /// number popped; 0 means closed-and-empty (consumer should exit).
-  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) EXCLUDES(mu_) {
     out.clear();
-    std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [this] { return closed_ || !q_.empty(); });
+    MutexLock lk(mu_);
+    while (!closed_ && q_.empty()) not_empty_.wait(lk);
     const std::size_t n = q_.size() < max ? q_.size() : max;
     for (std::size_t i = 0; i < n; ++i) {
       out.push_back(std::move(q_.front()));
@@ -59,8 +65,8 @@ class BoundedMpmcQueue {
   }
 
   /// Marks `n` previously popped items as fully processed.
-  void task_done(std::size_t n) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void task_done(std::size_t n) EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     unfinished_ = n < unfinished_ ? unfinished_ - n : 0;
     if (unfinished_ == 0) idle_.notify_all();
   }
@@ -68,16 +74,16 @@ class BoundedMpmcQueue {
   /// Blocks until every pushed item has been popped *and* task_done'd.
   /// The caller must guarantee producers have stopped pushing, otherwise
   /// "idle" is a moving target.
-  void wait_idle() {
-    std::unique_lock<std::mutex> lk(mu_);
-    idle_.wait(lk, [this] { return unfinished_ == 0; });
+  void wait_idle() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    while (unfinished_ != 0) idle_.wait(lk);
   }
 
   /// Rejects future pushes and wakes all blocked consumers; already
   /// queued items remain poppable so consumers drain before exiting.
-  void close() {
+  void close() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -85,29 +91,29 @@ class BoundedMpmcQueue {
 
   /// Re-arms a closed queue (start after stop). Requires no live
   /// consumers.
-  void open() {
-    std::lock_guard<std::mutex> lk(mu_);
+  void open() EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     closed_ = false;
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] std::size_t size() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return q_.size();
   }
 
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  [[nodiscard]] bool closed() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return closed_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_empty_;
-  std::condition_variable idle_;
-  std::deque<T> q_;
-  std::size_t cap_;
-  std::size_t unfinished_ = 0;  ///< pushed but not yet task_done'd
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar idle_;
+  std::deque<T> q_ GUARDED_BY(mu_);
+  std::size_t cap_;  ///< immutable after construction
+  std::size_t unfinished_ GUARDED_BY(mu_) = 0;  ///< pushed, not task_done'd
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace veridp

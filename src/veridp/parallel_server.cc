@@ -180,14 +180,14 @@ void ParallelServer::start() {
 }
 
 void ParallelServer::count_shed(Shard& sh) {
-  std::lock_guard<std::mutex> lk(sh.mu);
+  MutexLock lk(sh.mu);
   ++sh.shed;
 }
 
 bool ParallelServer::submit(const TagReport& report) {
   Shard& sh = shard_for(report.outport.sw);
   {
-    std::lock_guard<std::mutex> lk(sh.mu);
+    MutexLock lk(sh.mu);
     ++sh.received;
     if (report.seq != 0 &&
         !sh.seq.try_emplace(report.outport.sw, cfg_.dedup_window)
@@ -221,11 +221,11 @@ bool ParallelServer::submit_datagram(
   if (!report) {
     Shard& sh = *shards_.front();  // malformed payloads name no switch
     {
-      std::lock_guard<std::mutex> lk(sh.mu);
+      MutexLock lk(sh.mu);
       ++sh.received;
       ++sh.quarantined;
     }
-    std::lock_guard<std::mutex> qk(quarantine_mu_);
+    MutexLock qk(quarantine_mu_);
     quarantine_.push_back(datagram);
     if (quarantine_.size() > cfg_.quarantine_keep) quarantine_.pop_front();
     return false;
@@ -282,7 +282,7 @@ void ParallelServer::failure_loop() {
     const std::size_t n = failure_queue_.pop_batch(batch, 16);
     if (n == 0) return;
     {
-      std::lock_guard<std::mutex> lk(failures_mu_);
+      MutexLock lk(failures_mu_);
       for (const TagReport& r : batch) {
         failures_.push_back(r);
         if (failures_.size() > cfg_.failure_keep) failures_.pop_front();
@@ -312,7 +312,7 @@ void ParallelServer::stop() {
 ParallelHealth ParallelServer::health() const {
   ParallelHealth h;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lk(shard->mu);
+    MutexLock lk(shard->mu);
     h.received += shard->received;
     h.deduped += shard->deduped;
     h.shed += shard->shed;
@@ -331,7 +331,7 @@ ParallelHealth ParallelServer::health() const {
 }
 
 std::vector<TagReport> ParallelServer::take_failures() {
-  std::lock_guard<std::mutex> lk(failures_mu_);
+  MutexLock lk(failures_mu_);
   std::vector<TagReport> out(failures_.begin(), failures_.end());
   failures_.clear();
   return out;

@@ -30,7 +30,11 @@
 // bit-identical to a sequential Server fed the same reports under the
 // same epoch history. The stress tests assert this exactly.
 //
-// Threading contract:
+// Threading contract (machine-checked where expressible — DESIGN.md §8:
+// shard state, failure and quarantine buffers carry GUARDED_BY
+// annotations enforced by the clang-strict preset; the single-threaded
+// control-plane fields and the lock-free snapshot pointer are the two
+// documented-only exceptions, covered by the TSan suites):
 //   * control-plane side (ctor, sync, publish, rule events via the
 //     controller, localize, take_failures) — ONE thread;
 //   * data-plane side (submit, submit_datagram) — any number of
@@ -47,11 +51,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "controller/controller.hpp"
 #include "veridp/localizer.hpp"
 #include "veridp/mpmc_queue.hpp"
@@ -157,7 +161,8 @@ class ParallelServer {
   /// Returns true iff enqueued for verification. Thread-safe.
   bool submit(const TagReport& report);
   /// Offers one encoded datagram (decode failures are quarantined).
-  bool submit_datagram(const std::vector<std::uint8_t>& datagram);
+  bool submit_datagram(const std::vector<std::uint8_t>& datagram)
+      EXCLUDES(quarantine_mu_);
   /// Blocks until every submitted report has been verified and every
   /// mismatch has cleared the localization stage. Producers must be
   /// quiescent.
@@ -169,7 +174,7 @@ class ParallelServer {
 
   /// Drains the mismatches the localization stage retained (bounded by
   /// failure_keep). Control thread only.
-  std::vector<TagReport> take_failures();
+  std::vector<TagReport> take_failures() EXCLUDES(failures_mu_);
 
   /// Runs Algorithm 4 for a failed report against the controller's
   /// *current* logical config. Control thread only, config quiescent.
@@ -200,14 +205,17 @@ class ParallelServer {
   };
 
   /// Per-switch-shard ingest state. Producers for different switches
-  /// hash to different shards and never contend.
+  /// hash to different shards and never contend. Every mutable member is
+  /// GUARDED_BY the shard lock — the clang-strict build rejects any
+  /// access outside a MutexLock(shard.mu) scope, which is exactly the
+  /// contract the oracle-equality stress tests assume.
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<SwitchId, SeqTracker> seq;
-    std::uint64_t received = 0;
-    std::uint64_t deduped = 0;
-    std::uint64_t shed = 0;
-    std::uint64_t quarantined = 0;
+    mutable Mutex mu;
+    std::unordered_map<SwitchId, SeqTracker> seq GUARDED_BY(mu);
+    std::uint64_t received GUARDED_BY(mu) = 0;
+    std::uint64_t deduped GUARDED_BY(mu) = 0;
+    std::uint64_t shed GUARDED_BY(mu) = 0;
+    std::uint64_t quarantined GUARDED_BY(mu) = 0;
   };
 
   void on_rule_event(const RuleEvent& ev);
@@ -245,10 +253,11 @@ class ParallelServer {
   std::thread failure_consumer_;
 
   // Localization-stage output + quarantine (cold paths, mutex-guarded).
-  mutable std::mutex failures_mu_;
-  std::deque<TagReport> failures_;
-  mutable std::mutex quarantine_mu_;
-  std::deque<std::vector<std::uint8_t>> quarantine_;
+  mutable Mutex failures_mu_;
+  std::deque<TagReport> failures_ GUARDED_BY(failures_mu_);
+  mutable Mutex quarantine_mu_;
+  std::deque<std::vector<std::uint8_t>> quarantine_
+      GUARDED_BY(quarantine_mu_);
 };
 
 }  // namespace veridp

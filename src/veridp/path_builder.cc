@@ -60,6 +60,8 @@ void ReachIndex::erase_inport(PortKey inport) { reach_.erase(inport); }
 // the provider. Exact nested-map keying (no packed-key collisions);
 // element references are stable under unordered_map growth.
 struct PathTableBuilder::TransferMemo {
+  explicit TransferMemo(const TransferProvider* p) : provider(p) {}
+
   const TransferProvider* provider;
 
   static std::uint64_t key(SwitchId s, PortId x) {
@@ -161,7 +163,7 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
 
 PathTable PathTableBuilder::build(ReachIndex* reach) const {
   PathTable table;
-  TransferMemo memo{transfer_};
+  TransferMemo memo(transfer_);
   for (const PortKey& inport : topo_->edge_ports())
     traverse(table, inport, reach, reuse_ ? &memo : nullptr);
   return table;
@@ -169,7 +171,7 @@ PathTable PathTableBuilder::build(ReachIndex* reach) const {
 
 void PathTableBuilder::build_from(PathTable& table, PortKey inport,
                                   ReachIndex* reach) const {
-  TransferMemo memo{transfer_};
+  TransferMemo memo(transfer_);
   traverse(table, inport, reach, reuse_ ? &memo : nullptr);
 }
 

@@ -7,7 +7,11 @@
 // both paths agreeing exactly, whichever thread a report arrives on.
 //
 // Not internally synchronized: the sequential ingest is single-threaded
-// and the parallel ingest holds its shard lock around every call.
+// and the parallel ingest holds its shard lock around every call. That
+// external contract is machine-checked at the owner: ParallelServer
+// declares its tracker map GUARDED_BY(shard.mu) (see
+// common/thread_annotations.hpp and DESIGN.md §8), so under the
+// clang-strict preset no call can reach a shared SeqTracker unlocked.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,8 @@
 #include <unordered_set>
 
 namespace veridp {
+
+// veridp-lint: hot-path
 
 class SeqTracker {
  public:

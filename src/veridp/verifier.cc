@@ -2,6 +2,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 Verdict Verifier::check(const TagReport& report, const PathTable& table) {
   const PathTable::EntryList* paths =
       table.lookup(report.inport, report.outport);
@@ -76,11 +78,17 @@ void VerifyMemo::clear() {
 
 std::size_t VerifyMemo::index(const TagReport& r) const {
   std::uint64_t h = std::hash<PacketHeader>{}(r.header);
+  // Not a bare XOR pack: each port pair is assembled with | over
+  // disjoint lanes and multiplied by an odd constant before folding, so
+  // field aliasing cannot cancel. veridp-lint: allow(xor-hash-key)
   h ^= (static_cast<std::uint64_t>(r.inport.sw) << 32 | r.inport.port) *
        0x9E3779B97F4A7C15ULL;
+  // veridp-lint: allow(xor-hash-key) -- same | + odd-multiply shape
   h ^= (static_cast<std::uint64_t>(r.outport.sw) << 32 | r.outport.port) *
        0xC2B2AE3D27D4EB4FULL;
   h ^= r.tag.value() * 0x165667B19E3779F9ULL;
+  // Epoch occupies its own lane; the avalanche below mixes it.
+  // veridp-lint: allow(xor-hash-key)
   h ^= static_cast<std::uint64_t>(r.epoch) << 17;
   h ^= h >> 29;
   h *= 0xBF58476D1CE4E5B9ULL;

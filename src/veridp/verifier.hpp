@@ -27,6 +27,8 @@
 
 namespace veridp {
 
+// veridp-lint: hot-path
+
 enum class VerifyStatus {
   kOk,           ///< header matched a path and tags are equal
   kNoPath,       ///< no path for the pair admits this header

@@ -1,0 +1,18 @@
+// Seeded violation for veridp_lint's bare-bddref-member rule: the
+// struct below squirrels away a BddRef with no record of which
+// manager's node pool it indexes — the cross-arena bug class that
+// VERIDP_BDD_CHECK_ARENA aborts on at runtime. Never compiled; linted
+// by ctest.
+#include <cstdint>
+
+namespace fixture {
+
+using BddRef = std::int32_t;
+
+struct CachedPredicate {
+  BddRef predicate = 0;  // BAD: no arena provenance alongside
+  std::uint32_t epoch = 0;
+  double weight = 1.0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Seeded violation for veridp_lint's raw-lock rule: manual lock() /
+// unlock() pairs leak on the early return below — exactly why the rule
+// demands the RAII guards. Never compiled; linted by ctest
+// (lint_fixture_raw_lock expects this file to FAIL the lint).
+#include <mutex>
+
+namespace fixture {
+
+std::mutex g_mu;
+int g_count = 0;
+
+int increment_and_read(bool bail) {
+  g_mu.lock();  // BAD: bare acquisition, invisible to clang analysis
+  if (bail) return -1;  // BAD: leaks the lock
+  const int v = ++g_count;
+  g_mu.unlock();  // BAD: bare release
+  return v;
+}
+
+bool try_bump(std::mutex* mu) {
+  if (!mu->try_lock()) return false;  // BAD: pointer form, same rule
+  ++g_count;
+  mu->unlock();
+  return true;
+}
+
+}  // namespace fixture

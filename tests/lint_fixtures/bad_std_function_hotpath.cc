@@ -1,0 +1,23 @@
+// Seeded violation for veridp_lint's hot-path-std-function rule: this
+// file is marked hot-path, so the type-erased callbacks below must be
+// rejected (allocation + virtual dispatch per report). Never compiled;
+// linted by ctest.
+#include <functional>
+
+namespace fixture {
+
+// veridp-lint: hot-path
+
+struct Verifier {
+  // BAD: type-erased predicate on the per-report path.
+  std::function<bool(int)> admit;
+
+  bool check(int report) const { return admit(report); }
+};
+
+// BAD: type-erased callback parameter; should be a template.
+inline void for_each_report(const std::function<void(int)>& fn) {
+  for (int i = 0; i < 4; ++i) fn(i);
+}
+
+}  // namespace fixture

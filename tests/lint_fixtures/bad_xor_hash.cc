@@ -1,0 +1,18 @@
+// Seeded violation for veridp_lint's xor-hash-key rule: the key below
+// XORs shifted fields, so (sw ^ d) << 20 aliases with plain sw when d's
+// bits land in another field's lane — the silent-collision class the
+// pooled BDD engine's full-triple keying eliminated. Never compiled;
+// linted by ctest.
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint64_t hop_key(std::uint32_t sw, std::uint32_t in,
+                             std::uint32_t out) {
+  // BAD: XOR-packed lanes; overflow in any field corrupts its
+  // neighbour instead of failing loudly.
+  return (static_cast<std::uint64_t>(sw) << 40) ^
+         (static_cast<std::uint64_t>(in) << 20) ^ out;
+}
+
+}  // namespace fixture

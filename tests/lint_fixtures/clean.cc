@@ -1,0 +1,50 @@
+// Near-miss fixture: every construct here SKIRTS a veridp_lint rule
+// without breaking it, pinning down the lint's precision. The
+// lint_fixture_clean ctest expects this file to pass with zero
+// findings. Never compiled.
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+// veridp-lint: hot-path
+
+// A comment mentioning std::function must not trip the hot-path rule,
+// and neither must the string literal below containing ".lock()".
+inline const char* doc() { return "call .lock() via std::function"; }
+
+// RAII guards are the sanctioned way to take a mutex — no raw-lock hit.
+std::mutex g_mu;
+inline int guarded_read(int* p) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return *p;
+}
+
+class BddManager;  // provenance marker for the struct below
+using BddRef = std::int32_t;
+
+// A BddRef member WITH arena provenance in the same struct is fine.
+struct OwnedPredicate {
+  std::shared_ptr<BddManager> arena;
+  BddRef predicate = 0;
+};
+
+// A BddRef local inside a function body is not a member — no finding.
+inline BddRef choose(BddRef a, BddRef b) {
+  BddRef picked = a < b ? a : b;
+  return picked;
+}
+
+// Disjoint-lane packing with | is the sanctioned key shape.
+inline std::uint64_t port_key(std::uint32_t sw, std::uint32_t port) {
+  return (static_cast<std::uint64_t>(sw) << 32) | port;
+}
+
+// Small-shift XOR (bit flips, mixers) stays below the >= 8 lane
+// threshold on purpose.
+inline std::uint8_t flip(std::uint8_t byte, unsigned bit) {
+  return static_cast<std::uint8_t>(byte ^ (1u << (bit % 8u)));
+}
+
+}  // namespace fixture

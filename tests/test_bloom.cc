@@ -134,9 +134,15 @@ TEST_P(BloomFp, FalsePositiveRateReasonable) {
   }
   const double rate = static_cast<double>(fp) / kTrials;
   // Loose analytic envelope: k=3 hashes, 5 elements.
-  if (bits <= 8) EXPECT_GT(rate, 0.2);
-  if (bits >= 32) EXPECT_LT(rate, 0.25);
-  if (bits >= 64) EXPECT_LT(rate, 0.08);
+  if (bits <= 8) {
+    EXPECT_GT(rate, 0.2);
+  }
+  if (bits >= 32) {
+    EXPECT_LT(rate, 0.25);
+  }
+  if (bits >= 64) {
+    EXPECT_LT(rate, 0.08);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, BloomFp, ::testing::Values(8, 16, 24, 32, 48, 64));

@@ -108,9 +108,15 @@ TEST_P(ChaosSweep, NoFalsePositivesUnderTransportFaultsAndChurn) {
   } else {
     EXPECT_EQ(h.quarantined, 0u);
   }
-  if (tc.dup >= 0.1) EXPECT_GT(h.deduped, 0u);
-  if (tc.drop >= 0.05) EXPECT_GT(h.lost_estimate, 0u);
-  if (tc.drop == 0.0 && tc.corrupt == 0.0) EXPECT_EQ(h.lost_estimate, 0u);
+  if (tc.dup >= 0.1) {
+    EXPECT_GT(h.deduped, 0u);
+  }
+  if (tc.drop >= 0.05) {
+    EXPECT_GT(h.lost_estimate, 0u);
+  }
+  if (tc.drop == 0.0 && tc.corrupt == 0.0) {
+    EXPECT_EQ(h.lost_estimate, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

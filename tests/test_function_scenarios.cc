@@ -82,8 +82,11 @@ TEST_F(FunctionTest, BlackHoleDetectedAndLocalized) {
   // Localization recovers the one-hop drop path and blames boza.
   const auto inferred = server.localize(r.reports[0]);
   ASSERT_TRUE(inferred.recovered(r.path));
-  for (const Candidate& cand : inferred.candidates)
-    if (cand.path == r.path) EXPECT_EQ(cand.deviating_switch, boza);
+  for (const Candidate& cand : inferred.candidates) {
+    if (cand.path == r.path) {
+      EXPECT_EQ(cand.deviating_switch, boza);
+    }
+  }
 }
 
 // §6.2 "Path deviation": the same rule is rewired toward bbrb.
@@ -108,8 +111,11 @@ TEST_F(FunctionTest, PathDeviationDetectedAndLocalized) {
   EXPECT_EQ(verdict.status, VerifyStatus::kTagMismatch);
   const auto inferred = server.localize(r.reports[0]);
   ASSERT_TRUE(inferred.recovered(r.path));
-  for (const Candidate& cand : inferred.candidates)
-    if (cand.path == r.path) EXPECT_EQ(cand.deviating_switch, boza);
+  for (const Candidate& cand : inferred.candidates) {
+    if (cand.path == r.path) {
+      EXPECT_EQ(cand.deviating_switch, boza);
+    }
+  }
 }
 
 // §6.2 "Access violation": an ACL deny entry is lost at sozb.

@@ -184,8 +184,9 @@ TEST_P(IncrementalSweep, RandomUpdatesStayEquivalentToRebuild) {
       live.push_back(ev);
     }
     // Equivalence checked every few rounds (rebuilds are costly).
-    if (round % 5 == 4)
+    if (round % 5 == 4) {
       ASSERT_TRUE(upd.consistent_with_rebuild()) << "round " << round;
+    }
   }
   EXPECT_TRUE(upd.consistent_with_rebuild());
 }

@@ -107,9 +107,11 @@ TEST_F(ToyNetwork, DeliveredHeaderSetsExcludeDroppedTraffic) {
   const auto* list =
       table.lookup(PortKey{fig.s1, 2}, PortKey{fig.s3, 2});
   const PacketHeader h2ssh = header(Figure5::h2(), Figure5::h3(), Figure5::kSsh);
-  if (list)
-    for (const PathEntry& e : *list)
+  if (list) {
+    for (const PathEntry& e : *list) {
       EXPECT_FALSE(e.headers.contains(h2ssh));
+    }
+  }
 }
 
 TEST_F(ToyNetwork, HeaderSetsAreDisjointPerPair) {
@@ -152,9 +154,10 @@ TEST(PathBuilder, LoopyConfigurationStillTerminates) {
   const PacketHeader looping =
       header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 9, 1));
   table.for_each([&looping](PortKey, PortKey out, const PathEntry& e) {
-    if (e.headers.contains(looping))
+    if (e.headers.contains(looping)) {
       // Only drop entries may contain looping headers (no delivery).
       EXPECT_EQ(out.port, kDropPort);
+    }
   });
 }
 

@@ -121,8 +121,11 @@ TEST(Server, DetectsAndLocalizesInjectedFault) {
       if (inferred.recovered(r.path)) {
         ++localized;
         // Every candidate matching the real path blames the edge switch.
-        for (const Candidate& cand : inferred.candidates)
-          if (cand.path == r.path) EXPECT_EQ(cand.deviating_switch, edge);
+        for (const Candidate& cand : inferred.candidates) {
+          if (cand.path == r.path) {
+            EXPECT_EQ(cand.deviating_switch, edge);
+          }
+        }
       }
     }
   }

@@ -1,0 +1,77 @@
+// Keeps tsan.supp honest. Suppression files rot in one of two ways:
+// entries accumulate ("just silence it") until TSan is blind, or an
+// entry outlives the toolchain bug it papered over. This suite pins
+// both directions:
+//
+//  * the file must contain EXACTLY one active entry, the GCC-12
+//    libstdc++ _Sp_atomic false positive documented in the file — any
+//    new suppression must come with its own justification and a test
+//    change here, on purpose;
+//  * the entry must still be NEEDED: libstdc++ implements
+//    std::atomic<std::shared_ptr<T>> without lock-free hardware
+//    support (a spinlock bit TSan cannot model). If a toolchain
+//    upgrade ever makes it lock-free, NecessityProbe fails to remind
+//    us to try deleting the suppression altogether.
+//
+// The file's path arrives via the VERIDP_TSAN_SUPP compile definition
+// (tests/CMakeLists.txt) so the test runs from any working directory.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::vector<std::string> active_lines() {
+  std::ifstream in(VERIDP_TSAN_SUPP);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Trim; skip blanks and comments.
+    const auto b = line.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const auto e = line.find_last_not_of(" \t\r");
+    line = line.substr(b, e - b + 1);
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(TsanSuppressions, FileExistsAndParses) {
+  std::ifstream in(VERIDP_TSAN_SUPP);
+  ASSERT_TRUE(in.good()) << "tsan.supp missing at " << VERIDP_TSAN_SUPP;
+}
+
+TEST(TsanSuppressions, ExactlyTheDocumentedSpAtomicEntry) {
+  const auto lines = active_lines();
+  ASSERT_EQ(lines.size(), 1u)
+      << "tsan.supp must carry exactly one active suppression; new "
+         "entries need their own justification comment AND a matching "
+         "update to this test";
+  EXPECT_EQ(lines[0], "race:std::_Sp_atomic");
+}
+
+TEST(TsanSuppressions, NoWildcardSuppressions) {
+  for (const auto& line : active_lines()) {
+    EXPECT_EQ(line.find("race:*"), std::string::npos)
+        << "wildcard suppression would blind TSan to veridp races: "
+        << line;
+    EXPECT_NE(line, "race:std::*");
+  }
+}
+
+TEST(TsanSuppressions, NecessityProbe) {
+  // _Sp_atomic (the spinlock-bit implementation TSan cannot model) is
+  // only used when atomic<shared_ptr> has no lock-free representation.
+  EXPECT_FALSE(
+      (std::atomic<std::shared_ptr<int>>::is_always_lock_free))
+      << "atomic<shared_ptr> became lock-free on this toolchain -- the "
+         "_Sp_atomic suppression in tsan.supp may now be removable; "
+         "try deleting it and re-running ctest --preset tsan";
+}
+
+}  // namespace

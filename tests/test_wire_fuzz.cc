@@ -106,8 +106,9 @@ TEST(WireFuzz, ReportV1BitFlipsNeverCrashAndStayInBounds) {
       if (!out) continue;
       EXPECT_GE(out->tag.bits(), 1);
       EXPECT_LE(out->tag.bits(), 64);
-      if (out->tag.bits() < 64)
+      if (out->tag.bits() < 64) {
         EXPECT_EQ(out->tag.value() >> out->tag.bits(), 0u);
+      }
       EXPECT_EQ(out->epoch, 0u);  // v1 never carries an epoch
       EXPECT_EQ(out->seq, 0u);
     }

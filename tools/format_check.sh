@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# format_check.sh — verify that the lines touched by a change are
+# formatted per .clang-format, without demanding a whole-tree reformat.
+#
+#   tools/format_check.sh [<base-ref>]
+#
+# Checks the diff between <base-ref> (default: origin/main if it
+# exists, else HEAD~1, else the empty tree) and the working tree,
+# restricted to C++ sources. Exits 0 when every touched line is clean,
+# 1 when reformatting is needed (the offending diff is printed), and 0
+# with a notice when clang-format / git-clang-format is unavailable —
+# the container this repo builds in ships no clang; CI's static job
+# provides it.
+set -u
+
+cd "$(dirname "$0")/.." || exit 2
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found; skipping (the CI static" \
+       "job runs this with clang installed)"
+  exit 0
+fi
+
+base="${1:-}"
+if [ -z "$base" ]; then
+  if git rev-parse --verify -q origin/main >/dev/null; then
+    base=origin/main
+  elif git rev-parse --verify -q HEAD~1 >/dev/null; then
+    base=HEAD~1
+  else
+    base=$(git hash-object -t tree /dev/null)
+  fi
+fi
+
+# git-clang-format (ships with clang) checks exactly the touched lines.
+if command -v git-clang-format >/dev/null 2>&1; then
+  out=$(git clang-format --diff "$base" -- src tools tests bench examples \
+        2>&1)
+  status=$?
+  if [ $status -ne 0 ] && [ -z "$out" ]; then
+    echo "format_check: git-clang-format failed"
+    exit 2
+  fi
+  case "$out" in
+    ""|*"no modified files to format"*|*"did not modify any files"*)
+      echo "format_check: OK (touched lines match .clang-format)"
+      exit 0
+      ;;
+    *)
+      echo "format_check: touched lines need reformatting:"
+      printf '%s\n' "$out"
+      echo "fix with: git clang-format $base"
+      exit 1
+      ;;
+  esac
+fi
+
+# Fallback without git-clang-format: per-file whole-file check limited
+# to files the diff touches (coarser, same spirit).
+rc=0
+for f in $(git diff --name-only "$base" -- '*.cc' '*.cpp' '*.hpp' '*.h'); do
+  [ -f "$f" ] || continue
+  if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+    echo "format_check: $f deviates from .clang-format"
+    rc=1
+  fi
+done
+[ $rc -eq 0 ] && echo "format_check: OK"
+exit $rc

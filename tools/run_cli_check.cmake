@@ -1,0 +1,31 @@
+# Test runner for veridp_cli smoke tests: asserts the command BOTH
+# exits 0 AND prints the expected summary line(s). ctest's
+# PASS_REGULAR_EXPRESSION property *replaces* the exit-code check (a
+# crashing run that already printed the line would pass), so the CLI
+# smoke tests go through this script instead:
+#
+#   cmake -DCLI=<exe> -DARGS="<args>" -DEXPECT=<regex>
+#         [-DEXPECT2=<regex>] [-DEXPECT3=<regex>] -P run_cli_check.cmake
+if(NOT DEFINED CLI OR NOT DEFINED ARGS OR NOT DEFINED EXPECT)
+  message(FATAL_ERROR "run_cli_check: need -DCLI, -DARGS and -DEXPECT")
+endif()
+
+separate_arguments(arg_list UNIX_COMMAND "${ARGS}")
+execute_process(
+  COMMAND "${CLI}" ${arg_list}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "run_cli_check: '${CLI} ${ARGS}' exited with "
+                      "'${rc}'\n--- stdout ---\n${out}\n--- stderr ---\n${err}")
+endif()
+
+foreach(var EXPECT EXPECT2 EXPECT3)
+  if(DEFINED ${var} AND NOT out MATCHES "${${var}}")
+    message(FATAL_ERROR "run_cli_check: '${CLI} ${ARGS}' exited 0 but "
+                        "its output does not match /${${var}}/\n"
+                        "--- stdout ---\n${out}")
+  endif()
+endforeach()
