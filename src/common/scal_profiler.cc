@@ -1,0 +1,133 @@
+#include "common/scal_profiler.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <ctime>
+#define VERIDP_HAS_THREAD_CPUTIME 1
+#endif
+
+namespace veridp {
+
+std::uint64_t thread_cpu_now_ns() {
+#ifdef VERIDP_HAS_THREAD_CPUTIME
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#endif
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScalProfiler::ScalProfiler(std::size_t slots) : slots_(slots ? slots : 1) {}
+
+namespace {
+
+ScalTotals read_slot(const WorkerProfile& w) {
+  ScalTotals t;
+  t.queue_wait_ns = w.queue_wait_ns.load(std::memory_order_relaxed);
+  t.busy_ns = w.busy_ns.load(std::memory_order_relaxed);
+  t.cpu_ns = w.cpu_ns.load(std::memory_order_relaxed);
+  t.lock_acquisitions = w.lock_acquisitions.load(std::memory_order_relaxed);
+  t.snapshot_loads = w.snapshot_loads.load(std::memory_order_relaxed);
+  t.memo_lookups = w.memo_lookups.load(std::memory_order_relaxed);
+  t.memo_hits = w.memo_hits.load(std::memory_order_relaxed);
+  t.batches = w.batches.load(std::memory_order_relaxed);
+  t.batch_items = w.batch_items.load(std::memory_order_relaxed);
+  t.steal_attempts = w.steal_attempts.load(std::memory_order_relaxed);
+  t.stolen_batches = w.stolen_batches.load(std::memory_order_relaxed);
+  t.stolen_items = w.stolen_items.load(std::memory_order_relaxed);
+  return t;
+}
+
+void accumulate(ScalTotals& into, const ScalTotals& part) {
+  into.queue_wait_ns += part.queue_wait_ns;
+  into.busy_ns += part.busy_ns;
+  into.cpu_ns += part.cpu_ns;
+  into.lock_acquisitions += part.lock_acquisitions;
+  into.snapshot_loads += part.snapshot_loads;
+  into.memo_lookups += part.memo_lookups;
+  into.memo_hits += part.memo_hits;
+  into.batches += part.batches;
+  into.batch_items += part.batch_items;
+  into.steal_attempts += part.steal_attempts;
+  into.stolen_batches += part.stolen_batches;
+  into.stolen_items += part.stolen_items;
+}
+
+}  // namespace
+
+ScalTotals ScalProfiler::totals() const {
+  ScalTotals t;
+  for (const WorkerProfile& w : slots_) accumulate(t, read_slot(w));
+  return t;
+}
+
+ScalTotals ScalProfiler::slot_totals(std::size_t i) const {
+  return read_slot(slots_[i]);
+}
+
+void ScalProfiler::reset() {
+  for (WorkerProfile& w : slots_) {
+    w.queue_wait_ns.store(0, std::memory_order_relaxed);
+    w.busy_ns.store(0, std::memory_order_relaxed);
+    w.cpu_ns.store(0, std::memory_order_relaxed);
+    w.lock_acquisitions.store(0, std::memory_order_relaxed);
+    w.snapshot_loads.store(0, std::memory_order_relaxed);
+    w.memo_lookups.store(0, std::memory_order_relaxed);
+    w.memo_hits.store(0, std::memory_order_relaxed);
+    w.batches.store(0, std::memory_order_relaxed);
+    w.batch_items.store(0, std::memory_order_relaxed);
+    w.steal_attempts.store(0, std::memory_order_relaxed);
+    w.stolen_batches.store(0, std::memory_order_relaxed);
+    w.stolen_items.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string ScalProfiler::to_json(int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * depth), ' ');
+  const std::string in(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const ScalTotals t = totals();
+  char buf[256];
+  std::string out = "{\n";
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"queue_wait_ns", t.queue_wait_ns},
+      {"busy_ns", t.busy_ns},
+      {"cpu_ns", t.cpu_ns},
+      {"lock_acquisitions", t.lock_acquisitions},
+      {"snapshot_loads", t.snapshot_loads},
+      {"memo_lookups", t.memo_lookups},
+      {"memo_hits", t.memo_hits},
+      {"batches", t.batches},
+      {"batch_items", t.batch_items},
+      {"steal_attempts", t.steal_attempts},
+      {"stolen_batches", t.stolen_batches},
+      {"stolen_items", t.stolen_items},
+  };
+  for (const auto& [key, value] : counters) {
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %" PRIu64 ",\n", in.c_str(),
+                  key, value);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf,
+                "%s\"batch_occupancy\": %.2f,\n%s\"wait_fraction\": "
+                "%.4f,\n%s\"memo_hit_rate\": %.4f,\n%s\"worker_cpu_ns\": [",
+                in.c_str(), t.batch_occupancy(), in.c_str(),
+                t.wait_fraction(), in.c_str(), t.memo_hit_rate(), in.c_str());
+  out += buf;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%s%" PRIu64, i ? ", " : "",
+                  slots_[i].cpu_ns.load(std::memory_order_relaxed));
+    out += buf;
+  }
+  out += "]\n" + pad + "}";
+  return out;
+}
+
+}  // namespace veridp

@@ -1,0 +1,137 @@
+// Scalability profiler: cheap per-worker counters that attribute a flat
+// scaling curve to the shared state responsible (the NFOS
+// scalability-profiler direction, PAPERS.md).
+//
+// PR 3's parallel server scaled flat (BENCH_parallel_verify.json:
+// 1.15x at 2 workers, ~1.0x at 4-8) and nothing in the bench output
+// said WHY — queue contention, snapshot loads, memo misses and plain
+// lack of cores were indistinguishable. This module makes the why
+// measurable: every worker owns one cacheline-aligned slot of relaxed
+// atomic counters (single writer per slot — a relaxed increment on a
+// core-local line costs the same as a plain store), and the bench dumps
+// the merged attribution into the JSON trajectory so the next
+// regression names its bottleneck instead of re-deriving it.
+//
+// What is counted (per worker):
+//   * queue_wait_ns      — wall time parked waiting for work to arrive
+//   * busy_ns            — wall time spent processing batches
+//   * cpu_ns             — thread CPU time over the worker's lifetime
+//                          (CLOCK_THREAD_CPUTIME_ID: excludes blocked
+//                          AND preempted time, which is what makes the
+//                          load-balance projection honest on an
+//                          oversubscribed or single-core host)
+//   * lock_acquisitions  — mutex-protected queue/ingest operations
+//   * snapshot_loads     — acquire-loads of the RCU snapshot pointer
+//   * memo_lookups/hits  — per-worker verify-memo effectiveness
+//   * batches/batch_items— dequeue count and occupancy
+//   * steal_attempts/stolen_batches/stolen_items — rebalance traffic
+//
+// Thread-safety: slot(i) must be written by at most one thread at a
+// time (the worker that owns it); totals() may run concurrently from
+// any thread (relaxed reads — merged numbers are advisory while workers
+// run, exact once they stopped).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace veridp {
+
+// veridp-lint: hot-path
+
+/// Nanoseconds of CPU consumed by the CALLING thread (not wall time).
+/// Falls back to a steady wall clock where the per-thread CPU clock is
+/// unavailable.
+[[nodiscard]] std::uint64_t thread_cpu_now_ns();
+
+/// One worker's counter slot. alignas(64) so two workers never share a
+/// cacheline; all members relaxed atomics with a single writer.
+struct alignas(64) WorkerProfile {
+  std::atomic<std::uint64_t> queue_wait_ns{0};
+  std::atomic<std::uint64_t> busy_ns{0};
+  std::atomic<std::uint64_t> cpu_ns{0};
+  std::atomic<std::uint64_t> lock_acquisitions{0};
+  std::atomic<std::uint64_t> snapshot_loads{0};
+  std::atomic<std::uint64_t> memo_lookups{0};
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> batch_items{0};
+  std::atomic<std::uint64_t> steal_attempts{0};
+  std::atomic<std::uint64_t> stolen_batches{0};
+  std::atomic<std::uint64_t> stolen_items{0};
+
+  /// Single-writer convenience: relaxed add.
+  static void bump(std::atomic<std::uint64_t>& c, std::uint64_t v = 1) {
+    c.fetch_add(v, std::memory_order_relaxed);
+  }
+};
+
+/// Plain merged (or per-slot) snapshot of the counters above.
+struct ScalTotals {
+  std::uint64_t queue_wait_ns = 0;
+  std::uint64_t busy_ns = 0;
+  std::uint64_t cpu_ns = 0;
+  std::uint64_t lock_acquisitions = 0;
+  std::uint64_t snapshot_loads = 0;
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_items = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t stolen_batches = 0;
+  std::uint64_t stolen_items = 0;
+
+  /// Mean items per dequeue — low occupancy under load means workers
+  /// are spinning on the queue lock for scraps.
+  [[nodiscard]] double batch_occupancy() const {
+    return batches ? static_cast<double>(batch_items) /
+                         static_cast<double>(batches)
+                   : 0.0;
+  }
+  /// Fraction of attended wall time spent waiting rather than working.
+  [[nodiscard]] double wait_fraction() const {
+    const std::uint64_t denom = queue_wait_ns + busy_ns;
+    return denom ? static_cast<double>(queue_wait_ns) /
+                       static_cast<double>(denom)
+                 : 0.0;
+  }
+  [[nodiscard]] double memo_hit_rate() const {
+    return memo_lookups ? static_cast<double>(memo_hits) /
+                              static_cast<double>(memo_lookups)
+                        : 0.0;
+  }
+};
+
+class ScalProfiler {
+ public:
+  /// `slots` workers, each with a private cacheline.
+  explicit ScalProfiler(std::size_t slots);
+
+  [[nodiscard]] std::size_t slots() const { return slots_.size(); }
+  [[nodiscard]] WorkerProfile& slot(std::size_t i) { return slots_[i]; }
+  [[nodiscard]] const WorkerProfile& slot(std::size_t i) const {
+    return slots_[i];
+  }
+
+  /// Merged counters across all slots (relaxed reads).
+  [[nodiscard]] ScalTotals totals() const;
+  /// One slot's counters as a plain snapshot.
+  [[nodiscard]] ScalTotals slot_totals(std::size_t i) const;
+  /// Zeroes every slot. Callers must quiesce the writers first.
+  void reset();
+
+  /// The merged attribution as a JSON object (no trailing newline),
+  /// indented by `indent` spaces per level at `depth` levels deep —
+  /// made for embedding into hand-written bench JSON. Includes the
+  /// per-worker cpu_ns breakdown, which is what the load-balance
+  /// projection in the bench consumes.
+  [[nodiscard]] std::string to_json(int indent = 2, int depth = 1) const;
+
+ private:
+  std::vector<WorkerProfile> slots_;
+};
+
+}  // namespace veridp

@@ -29,6 +29,7 @@
 // ACQUIRE/RELEASE, EXCLUDES, ...).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -169,6 +170,20 @@ class CondVar {
     std::unique_lock<std::mutex> ul(lk.mutex().native(), std::adopt_lock);
     cv_.wait(ul);
     ul.release();  // the MutexLock still owns the capability
+  }
+
+  /// Timed wait; returns false on timeout. Same capability story as
+  /// wait(): the caller's MutexLock is held again either way, and the
+  /// caller re-tests its predicate in a loop. The parallel server's
+  /// workers use this to bound how long an idle worker sleeps before
+  /// rescanning sibling lanes for stealable work.
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lk, std::chrono::duration<Rep, Period> d)
+      NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(lk.mutex().native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(ul, d);
+    ul.release();  // the MutexLock still owns the capability
+    return st == std::cv_status::no_timeout;
   }
   void notify_one() { cv_.notify_one(); }
   void notify_all() { cv_.notify_all(); }

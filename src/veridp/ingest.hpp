@@ -29,8 +29,8 @@
 //
 // Thread-safety: NOT internally synchronized — this is the sequential
 // Server's single-threaded front door. The multi-producer analogue is
-// ParallelServer's per-switch ingest shards, whose shard state is
-// GUARDED_BY its shard lock and machine-checked under the clang-strict
+// ParallelServer's shard-affine dispatch lanes, whose ingest state is
+// GUARDED_BY the lane lock and machine-checked under the clang-strict
 // preset (common/thread_annotations.hpp, DESIGN.md §8).
 #pragma once
 

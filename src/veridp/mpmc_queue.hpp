@@ -20,7 +20,10 @@
 // outside a MutexLock scope fails the build.
 #pragma once
 
+#include <cassert>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -64,10 +67,57 @@ class BoundedMpmcQueue {
     return n;
   }
 
-  /// Marks `n` previously popped items as fully processed.
+  /// Pops up to `max` items into `out` (cleared first) WITHOUT blocking.
+  /// Returns the number popped — 0 simply means "nothing available right
+  /// now", closed or not. This is the work-stealing entry point: a
+  /// worker whose own lane ran dry raids a sibling lane's queue, and a
+  /// thief must never sleep on a queue it does not own.
+  std::size_t try_pop_batch(std::vector<T>& out, std::size_t max)
+      EXCLUDES(mu_) {
+    out.clear();
+    MutexLock lk(mu_);
+    const std::size_t n = q_.size() < max ? q_.size() : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return n;
+  }
+
+  /// pop_batch with a bounded wait: blocks until an item arrives, the
+  /// queue is closed, or `timeout` elapses. Returns the number popped
+  /// (0 on timeout or closed-and-empty — callers that need to tell the
+  /// two apart re-check closed()/drained themselves).
+  template <typename Rep, typename Period>
+  std::size_t pop_batch_for(std::vector<T>& out, std::size_t max,
+                            std::chrono::duration<Rep, Period> timeout)
+      EXCLUDES(mu_) {
+    out.clear();
+    MutexLock lk(mu_);
+    if (!closed_ && q_.empty()) not_empty_.wait_for(lk, timeout);
+    const std::size_t n = q_.size() < max ? q_.size() : max;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    return n;
+  }
+
+  /// Marks `n` previously popped items as fully processed. Reporting
+  /// more completions than items outstanding is a consumer accounting
+  /// bug (e.g. double-counting a batch): debug builds abort on it, and
+  /// every build records the excess in over_reported() instead of
+  /// silently clamping — a wait_idle() released by inflated completions
+  /// would "drain" a pipeline that still has work in flight.
   void task_done(std::size_t n) EXCLUDES(mu_) {
     MutexLock lk(mu_);
-    unfinished_ = n < unfinished_ ? unfinished_ - n : 0;
+    if (n > unfinished_) {
+      over_reported_ += n - unfinished_;
+      assert(false && "BoundedMpmcQueue::task_done over-report");
+      unfinished_ = 0;
+    } else {
+      unfinished_ -= n;
+    }
     if (unfinished_ == 0) idle_.notify_all();
   }
 
@@ -106,6 +156,21 @@ class BoundedMpmcQueue {
     return closed_;
   }
 
+  /// True once the queue can yield no further work: closed and empty.
+  /// (Items popped but not yet task_done'd do not count — they are some
+  /// consumer's responsibility already.)
+  [[nodiscard]] bool drained() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return closed_ && q_.empty();
+  }
+
+  /// Cumulative task_done over-report (completions in excess of
+  /// outstanding items). Nonzero means a consumer double-accounted.
+  [[nodiscard]] std::uint64_t over_reported() const EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return over_reported_;
+  }
+
  private:
   mutable Mutex mu_;
   CondVar not_empty_;
@@ -113,6 +178,7 @@ class BoundedMpmcQueue {
   std::deque<T> q_ GUARDED_BY(mu_);
   std::size_t cap_;  ///< immutable after construction
   std::size_t unfinished_ GUARDED_BY(mu_) = 0;  ///< pushed, not task_done'd
+  std::uint64_t over_reported_ GUARDED_BY(mu_) = 0;
   bool closed_ GUARDED_BY(mu_) = false;
 };
 

@@ -1,5 +1,7 @@
 #include "veridp/parallel_server.hpp"
 
+#include <chrono>
+
 #include "dataplane/wire.hpp"
 #include "veridp/path_builder.hpp"
 
@@ -22,16 +24,27 @@ ParallelServer::ParallelServer(Controller& controller, ParallelConfig cfg,
     : controller_(&controller),
       cfg_(cfg),
       tag_bits_(tag_bits),
-      queue_(cfg.queue_capacity ? cfg.queue_capacity : 1),
-      failure_queue_(cfg.failure_keep > 64 ? cfg.failure_keep : 64) {
+      failure_queue_(cfg.failure_keep > 64 ? cfg.failure_keep : 64),
+      prof_(cfg.workers ? cfg.workers
+                        : (std::thread::hardware_concurrency()
+                               ? std::thread::hardware_concurrency()
+                               : 1)) {
   if (cfg_.high_watermark > cfg_.queue_capacity)
     cfg_.high_watermark = cfg_.queue_capacity;
   if (cfg_.shed_modulus == 0) cfg_.shed_modulus = 1;
   if (cfg_.batch_size == 0) cfg_.batch_size = 1;
-  const std::size_t nshards = cfg_.shards ? cfg_.shards : 1;
-  shards_.reserve(nshards);
-  for (std::size_t i = 0; i < nshards; ++i)
-    shards_.push_back(std::make_unique<Shard>());
+  if (cfg_.steal_threshold == 0) cfg_.steal_threshold = 1;
+  shards_ = cfg_.shards ? cfg_.shards : 1;
+  // One lane per worker; the global bounds split evenly so total queued
+  // work stays capped at queue_capacity whatever the lane count.
+  const std::size_t nlanes = worker_count();
+  lane_capacity_ = cfg_.queue_capacity / nlanes;
+  if (lane_capacity_ == 0) lane_capacity_ = 1;
+  lane_watermark_ = cfg_.high_watermark / nlanes;
+  if (lane_watermark_ > lane_capacity_) lane_watermark_ = lane_capacity_;
+  lanes_.reserve(nlanes);
+  for (std::size_t i = 0; i < nlanes; ++i)
+    lanes_.push_back(std::make_unique<Lane>(lane_capacity_));
   controller_->subscribe(
       [this](const RuleEvent& ev) { on_rule_event(ev); });
 }
@@ -165,51 +178,48 @@ ParallelServer::StreamTotals ParallelServer::verify_stream(
 void ParallelServer::start() {
   if (running()) return;
   if (!synced_) sync();
-  queue_.open();
+  for (const auto& lane : lanes_) lane->q.open();
   failure_queue_.open();
   const unsigned n = worker_count();
   // Stats persist across start/stop cycles so health() stays cumulative.
   while (worker_stats_.size() < n)
     worker_stats_.push_back(std::make_unique<WorkerStats>());
   workers_.reserve(n);
-  for (unsigned i = 0; i < n; ++i) {
-    WorkerStats& ws = *worker_stats_[i];
-    workers_.emplace_back([this, &ws] { worker_loop(ws); });
-  }
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
   failure_consumer_ = std::thread([this] { failure_loop(); });
 }
 
-void ParallelServer::count_shed(Shard& sh) {
-  MutexLock lk(sh.mu);
-  ++sh.shed;
+void ParallelServer::count_shed(Lane& lane) {
+  MutexLock lk(lane.mu);
+  ++lane.shed;
 }
 
 bool ParallelServer::submit(const TagReport& report) {
-  Shard& sh = shard_for(report.outport.sw);
+  Lane& lane = lane_for(report.outport.sw);
   {
-    MutexLock lk(sh.mu);
-    ++sh.received;
+    MutexLock lk(lane.mu);
+    ++lane.received;
     if (report.seq != 0 &&
-        !sh.seq.try_emplace(report.outport.sw, cfg_.dedup_window)
+        !lane.seq.try_emplace(report.outport.sw, cfg_.dedup_window)
              .first->second.note(report.seq)) {
-      ++sh.deduped;
+      ++lane.deduped;
       return false;
     }
   }
-  // Shed checks run outside the shard lock — the queue has its own
-  // synchronization and the depth reading is advisory anyway.
-  const std::size_t depth = queue_.size();
-  if (depth >= cfg_.queue_capacity) {
-    count_shed(sh);
+  // Shed checks run outside the lane ingest lock — the queue has its
+  // own synchronization and the depth reading is advisory anyway.
+  const std::size_t depth = lane.q.size();
+  if (depth >= lane_capacity_) {
+    count_shed(lane);
     return false;
   }
-  if (depth >= cfg_.high_watermark &&
-      report.seq % cfg_.shed_modulus != 0) {
-    count_shed(sh);
+  if (depth >= lane_watermark_ && report.seq % cfg_.shed_modulus != 0) {
+    count_shed(lane);
     return false;
   }
-  if (!queue_.try_push(report)) {
-    count_shed(sh);
+  if (!lane.q.try_push(report)) {
+    count_shed(lane);
     return false;
   }
   return true;
@@ -219,11 +229,11 @@ bool ParallelServer::submit_datagram(
     const std::vector<std::uint8_t>& datagram) {
   const auto report = wire::decode_report(datagram);
   if (!report) {
-    Shard& sh = *shards_.front();  // malformed payloads name no switch
+    Lane& lane = *lanes_.front();  // malformed payloads name no switch
     {
-      MutexLock lk(sh.mu);
-      ++sh.received;
-      ++sh.quarantined;
+      MutexLock lk(lane.mu);
+      ++lane.received;
+      ++lane.quarantined;
     }
     MutexLock qk(quarantine_mu_);
     quarantine_.push_back(datagram);
@@ -233,7 +243,32 @@ bool ParallelServer::submit_datagram(
   return submit(*report);
 }
 
-void ParallelServer::worker_loop(WorkerStats& ws) {
+ParallelServer::Lane* ParallelServer::pick_victim(std::size_t own) {
+  Lane* best = nullptr;
+  std::size_t best_depth = cfg_.steal_threshold - 1;
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    if (i == own) continue;
+    const std::size_t depth = lanes_[i]->q.size();
+    if (depth > best_depth) {
+      best_depth = depth;
+      best = lanes_[i].get();
+    }
+  }
+  return best;
+}
+
+bool ParallelServer::all_lanes_drained() const {
+  for (const auto& lane : lanes_)
+    if (!lane->q.drained()) return false;
+  return true;
+}
+
+void ParallelServer::worker_loop(unsigned idx) {
+  using clock = std::chrono::steady_clock;
+  WorkerStats& ws = *worker_stats_[idx];
+  WorkerProfile& wp = prof_.slot(idx % prof_.slots());
+  Lane& own = *lanes_[idx % lanes_.size()];
+  const std::size_t own_idx = idx % lanes_.size();
   std::vector<TagReport> batch;
   batch.reserve(cfg_.batch_size);
   // Per-worker duplicate-report memo (lock-free by construction). It is
@@ -242,19 +277,58 @@ void ParallelServer::worker_loop(WorkerStats& ws) {
   // address while stale memo entries still reference the old one.
   VerifyMemo memo;
   std::shared_ptr<const EpochSnapshot> held;
+  const std::uint64_t cpu0 = thread_cpu_now_ns();
   for (;;) {
-    const std::size_t n = queue_.pop_batch(batch, cfg_.batch_size);
-    if (n == 0) return;  // closed and drained
+    // Own lane first — the shard-affine fast path: one lane-local lock,
+    // no sibling contention.
+    Lane* src = &own;
+    std::size_t n = own.q.try_pop_batch(batch, cfg_.batch_size);
+    WorkerProfile::bump(wp.lock_acquisitions);
+    if (n == 0) {
+      // Dry lane: bounded rebalance — raid the deepest sibling once.
+      WorkerProfile::bump(wp.steal_attempts);
+      if (Lane* victim = pick_victim(own_idx)) {
+        n = victim->q.try_pop_batch(batch, cfg_.batch_size);
+        WorkerProfile::bump(wp.lock_acquisitions);
+        if (n != 0) {
+          src = victim;
+          WorkerProfile::bump(wp.stolen_batches);
+          WorkerProfile::bump(wp.stolen_items, n);
+        }
+      }
+    }
+    if (n == 0) {
+      if (all_lanes_drained()) break;  // closed everywhere: exit
+      // Nothing to do anywhere right now: park on the own lane with a
+      // bounded backoff, then rescan (a sibling may have filled while
+      // we only get woken for our own lane's pushes).
+      const clock::time_point w0 = clock::now();
+      n = own.q.pop_batch_for(
+          batch, cfg_.batch_size,
+          std::chrono::microseconds(cfg_.idle_backoff_us));
+      WorkerProfile::bump(wp.lock_acquisitions);
+      WorkerProfile::bump(
+          wp.queue_wait_ns,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  clock::now() - w0)
+                  .count()));
+      if (n == 0) continue;
+      src = &own;
+    }
+    const clock::time_point b0 = clock::now();
     // The whole RCU read side is this one acquire load per batch;
     // everything behind the pointer is immutable. Epoch-stale reports
     // in the batch still verify against their own epoch via the ring.
     const std::shared_ptr<const EpochSnapshot> snap = snapshot();
+    WorkerProfile::bump(wp.snapshot_loads);
     if (snap != held) {
       memo.clear();
       held = snap;
     }
     const EpochTables tables = snap->view();
     const std::uint64_t hits_before = memo.hits();
+    const std::uint64_t lookups_before = memo.lookups();
     for (const TagReport& r : batch) {
       const Verdict v = verify_epoch_aware(r, tables, &memo);
       ws.verified.fetch_add(1, std::memory_order_relaxed);
@@ -272,8 +346,20 @@ void ParallelServer::worker_loop(WorkerStats& ws) {
     }
     ws.memo_hits.fetch_add(memo.hits() - hits_before,
                            std::memory_order_relaxed);
-    queue_.task_done(n);
+    WorkerProfile::bump(wp.memo_hits, memo.hits() - hits_before);
+    WorkerProfile::bump(wp.memo_lookups, memo.lookups() - lookups_before);
+    WorkerProfile::bump(wp.batches);
+    WorkerProfile::bump(wp.batch_items, n);
+    src->q.task_done(n);
+    WorkerProfile::bump(wp.lock_acquisitions);
+    WorkerProfile::bump(
+        wp.busy_ns,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                clock::now() - b0)
+                .count()));
   }
+  WorkerProfile::bump(wp.cpu_ns, thread_cpu_now_ns() - cpu0);
 }
 
 void ParallelServer::failure_loop() {
@@ -293,31 +379,45 @@ void ParallelServer::failure_loop() {
 }
 
 void ParallelServer::drain() {
-  // Workers push to the failure queue before task_done on the report
-  // queue, so once the report queue is idle every mismatch is already
-  // inside the failure queue; waiting on it second closes the pipeline.
-  queue_.wait_idle();
+  // Workers push to the failure queue before task_done on their lane,
+  // so once every lane is idle every mismatch is already inside the
+  // failure queue; waiting on it second closes the pipeline.
+  for (const auto& lane : lanes_) lane->q.wait_idle();
   failure_queue_.wait_idle();
 }
 
 void ParallelServer::stop() {
   if (workers_.empty() && !failure_consumer_.joinable()) return;
-  queue_.close();  // workers drain the remaining items, then exit
+  // Close every lane: workers drain the leftovers (stealing included),
+  // then exit once all_lanes_drained().
+  for (const auto& lane : lanes_) lane->q.close();
   for (std::thread& t : workers_) t.join();
   workers_.clear();
   failure_queue_.close();
   if (failure_consumer_.joinable()) failure_consumer_.join();
 }
 
+std::size_t ParallelServer::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& lane : lanes_) depth += lane->q.size();
+  return depth;
+}
+
+std::uint64_t ParallelServer::queue_over_reported() const {
+  std::uint64_t n = failure_queue_.over_reported();
+  for (const auto& lane : lanes_) n += lane->q.over_reported();
+  return n;
+}
+
 ParallelHealth ParallelServer::health() const {
   ParallelHealth h;
-  for (const auto& shard : shards_) {
-    MutexLock lk(shard->mu);
-    h.received += shard->received;
-    h.deduped += shard->deduped;
-    h.shed += shard->shed;
-    h.quarantined += shard->quarantined;
-    for (const auto& [sw, tracker] : shard->seq)
+  for (const auto& lane : lanes_) {
+    MutexLock lk(lane->mu);
+    h.received += lane->received;
+    h.deduped += lane->deduped;
+    h.shed += lane->shed;
+    h.quarantined += lane->quarantined;
+    for (const auto& [sw, tracker] : lane->seq)
       h.lost_estimate += tracker.lost_estimate();
   }
   for (const auto& ws : worker_stats_) {

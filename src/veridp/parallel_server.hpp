@@ -3,15 +3,34 @@
 // a higher throughput with multi-threading in the future"; this is that
 // future. Architecture (DESIGN.md §6):
 //
-//   producers ──► sharded per-switch ingest ──► bounded MPMC queue
-//   (any thread)  (dedup + shed, shard lock)     │ batch dequeue
+//   producers ──► shard-affine lanes: lane = (sw % shards) % workers
+//   (any thread)  each lane: {dedup trackers + counters, bounded queue}
+//                                                │ batch dequeue by the
+//                                                │ OWNING worker; idle
+//                                                │ workers steal batches
 //                                                ▼
 //                             N workers, each: load snapshot (atomic
 //                             shared_ptr), verify_epoch_aware per report,
-//                             per-worker counters (merged on read)
+//                             per-worker counters + profiler slot
 //                                                │ mismatches
 //                                                ▼
 //                             single-consumer localization stage
+//
+// Shard-affine dispatch (the fix for the flat PR-3 scaling curve): the
+// old pipeline funneled every producer and every worker through ONE
+// BoundedMpmcQueue — one mutex and one condvar bouncing between all
+// cores, so adding workers added contention instead of throughput.
+// Reports are now routed by switch shard to per-worker lanes: a lane's
+// dedup trackers, health counters and bounded queue are touched only by
+// the producers of that lane's switches and by its owning worker, so on
+// the hot path no lock and no counter cacheline is shared across
+// workers. Skewed switch distributions (one hot switch would starve
+// N-1 workers) are handled by bounded work-stealing at dequeue: a
+// worker whose own lane is dry raids the deepest sibling lane for one
+// batch. Verification itself is stateless across lanes (immutable
+// snapshot + per-worker memo), so a stolen report's verdict is
+// bit-identical wherever it lands; dedup stays exact because it is
+// decided at lane admission, before any steal can move the report.
 //
 // Snapshot publication (RCU-style): the path table plus the ring of
 // retired tables live in one immutable EpochSnapshot published through
@@ -30,8 +49,13 @@
 // bit-identical to a sequential Server fed the same reports under the
 // same epoch history. The stress tests assert this exactly.
 //
+// Observability: every worker owns a ScalProfiler slot (queue-wait,
+// lock, snapshot-load, memo and steal counters — common/scal_profiler
+// .hpp); the bench dumps the attribution into BENCH_parallel_verify
+// .json so a future flat curve names the shared state responsible.
+//
 // Threading contract (machine-checked where expressible — DESIGN.md §8:
-// shard state, failure and quarantine buffers carry GUARDED_BY
+// lane state, failure and quarantine buffers carry GUARDED_BY
 // annotations enforced by the clang-strict preset; the single-threaded
 // control-plane fields and the lock-free snapshot pointer are the two
 // documented-only exceptions, covered by the TSan suites):
@@ -39,7 +63,7 @@
 //     controller, localize, take_failures) — ONE thread;
 //   * data-plane side (submit, submit_datagram) — any number of
 //     producer threads, concurrently with workers and with publish();
-//   * health() — any thread, merges per-shard/per-worker counters.
+//   * health() — any thread, merges per-lane/per-worker counters.
 //
 // Only Server::Mode::kFullRebuild semantics are supported: kIncremental
 // mutates its table in place, which is incompatible with lock-free
@@ -55,6 +79,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/scal_profiler.hpp"
 #include "common/thread_annotations.hpp"
 #include "controller/controller.hpp"
 #include "veridp/localizer.hpp"
@@ -66,19 +91,36 @@ namespace veridp {
 
 struct ParallelConfig {
   unsigned workers = 0;              ///< 0 = hardware_concurrency
-  std::size_t queue_capacity = 4096; ///< hard bound on the report queue
-  std::size_t high_watermark = 3072; ///< shedding starts above this
+  std::size_t queue_capacity = 4096; ///< hard bound, split across lanes
+  std::size_t high_watermark = 3072; ///< shedding starts above this (split)
   std::uint32_t shed_modulus = 4;    ///< keep seq % modulus == 0 when shedding
   std::size_t batch_size = 32;       ///< reports per worker dequeue
-  std::size_t shards = 16;           ///< per-switch ingest shards
+  std::size_t shards = 16;           ///< switch-affinity granularity
   std::size_t dedup_window = 4096;   ///< remembered seqs per switch
   std::size_t failure_keep = 256;    ///< mismatched reports retained
   std::size_t quarantine_keep = 16;  ///< malformed payloads retained
+  std::size_t steal_threshold = 1;   ///< min victim depth worth stealing
+  std::uint32_t idle_backoff_us = 200;  ///< idle sleep between steal scans
 };
 
-/// Merged health counters (the parallel analogue of IngestHealth). Every
-/// submitted report lands in exactly one bucket once drained:
-///   passed + failed + stale + shed + quarantined + deduped == received.
+/// Merged health counters (the parallel analogue of IngestHealth).
+/// Conservation law — once drained, every submitted report sits in
+/// exactly one terminal bucket:
+///
+///   received == passed + failed + stale + shed + quarantined + deduped
+///
+/// and within the verified portion:
+///
+///   verified  == passed + failed + stale
+///   memo_hits <= verified
+///
+/// memo_hits is deliberately NOT a seventh bucket: a report answered
+/// from the per-worker verify memo IS verified — the memo returns a
+/// verdict bit-identical to recomputation, and that verdict is counted
+/// in passed/failed/stale like any other. memo_hits records how many of
+/// the verified reports took the memo fast path. accounted() is the
+/// terminal-bucket sum of the first law; conserved() checks all three
+/// relations (the invariant the stress tests assert).
 struct ParallelHealth {
   std::uint64_t received = 0;
   std::uint64_t verified = 0;  ///< == passed + failed + stale
@@ -89,10 +131,14 @@ struct ParallelHealth {
   std::uint64_t quarantined = 0;
   std::uint64_t deduped = 0;
   std::uint64_t lost_estimate = 0;
-  std::uint64_t memo_hits = 0;  ///< duplicate reports answered from memo
+  std::uint64_t memo_hits = 0;  ///< verified via the memo fast path
 
   [[nodiscard]] std::uint64_t accounted() const {
     return passed + failed + stale + shed + quarantined + deduped;
+  }
+  [[nodiscard]] bool conserved() const {
+    return accounted() == received &&
+           verified == passed + failed + stale && memo_hits <= verified;
   }
 };
 
@@ -157,8 +203,8 @@ class ParallelServer {
   // -- Streaming mode -------------------------------------------------------
   /// Launches the worker pool and the localization-stage consumer.
   void start();
-  /// Offers one decoded report: sharded dedup → shed check → queue.
-  /// Returns true iff enqueued for verification. Thread-safe.
+  /// Offers one decoded report: lane-affine dedup → shed check → lane
+  /// queue. Returns true iff enqueued for verification. Thread-safe.
   bool submit(const TagReport& report);
   /// Offers one encoded datagram (decode failures are quarantined).
   bool submit_datagram(const std::vector<std::uint8_t>& datagram)
@@ -188,10 +234,23 @@ class ParallelServer {
   [[nodiscard]] std::uint64_t snapshots_published() const {
     return published_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  /// Total undispatched reports across all lanes.
+  [[nodiscard]] std::size_t queue_depth() const;
   [[nodiscard]] bool running() const { return !workers_.empty(); }
   [[nodiscard]] unsigned worker_count() const;
+  [[nodiscard]] std::size_t lane_count() const { return lanes_.size(); }
   [[nodiscard]] int tag_bits() const { return tag_bits_; }
+
+  /// Per-worker stall/steal/memo attribution (one slot per worker).
+  /// Counters accumulate across start/stop cycles; reset via
+  /// profiler().reset() while the pool is stopped.
+  [[nodiscard]] const ScalProfiler& profiler() const { return prof_; }
+  [[nodiscard]] ScalProfiler& profiler() { return prof_; }
+
+  /// Cumulative task_done over-reports across every lane queue and the
+  /// failure queue. Always 0 unless a consumer double-accounts; the
+  /// lifecycle tests assert it stays 0.
+  [[nodiscard]] std::uint64_t queue_over_reported() const;
 
  private:
   /// Per-worker verdict counters, cacheline-separated so workers never
@@ -204,32 +263,46 @@ class ParallelServer {
     std::atomic<std::uint64_t> memo_hits{0};
   };
 
-  /// Per-switch-shard ingest state. Producers for different switches
-  /// hash to different shards and never contend. Every mutable member is
-  /// GUARDED_BY the shard lock — the clang-strict build rejects any
-  /// access outside a MutexLock(shard.mu) scope, which is exactly the
-  /// contract the oracle-equality stress tests assume.
-  struct alignas(64) Shard {
+  /// One shard-affine dispatch lane: the per-switch dedup trackers and
+  /// ingest counters for the switches routed here, plus the bounded
+  /// queue its owning worker dequeues from. Producers for different
+  /// lanes share nothing; producers for the same lane serialize on
+  /// `mu` exactly like the old per-switch shards did — every mutable
+  /// ingest member is GUARDED_BY(mu) and the clang-strict build rejects
+  /// any access outside a MutexLock(lane.mu) scope. The queue carries
+  /// its own internal synchronization (it must: thieves bypass `mu`).
+  struct alignas(64) Lane {
+    explicit Lane(std::size_t capacity) : q(capacity) {}
     mutable Mutex mu;
     std::unordered_map<SwitchId, SeqTracker> seq GUARDED_BY(mu);
     std::uint64_t received GUARDED_BY(mu) = 0;
     std::uint64_t deduped GUARDED_BY(mu) = 0;
     std::uint64_t shed GUARDED_BY(mu) = 0;
     std::uint64_t quarantined GUARDED_BY(mu) = 0;
+    BoundedMpmcQueue<TagReport> q;
   };
 
   void on_rule_event(const RuleEvent& ev);
   void rebuild_snapshot();
-  Shard& shard_for(SwitchId sw) {
-    return *shards_[static_cast<std::size_t>(sw) % shards_.size()];
+  Lane& lane_for(SwitchId sw) {
+    const std::size_t shard = static_cast<std::size_t>(sw) % shards_;
+    return *lanes_[shard % lanes_.size()];
   }
-  void count_shed(Shard& sh);
-  void worker_loop(WorkerStats& ws);
+  void count_shed(Lane& lane);
+  /// Deepest sibling lane with at least steal_threshold queued reports,
+  /// or nullptr. O(lanes) advisory size reads — only taken when the
+  /// worker's own lane ran dry.
+  Lane* pick_victim(std::size_t own);
+  [[nodiscard]] bool all_lanes_drained() const;
+  void worker_loop(unsigned idx);
   void failure_loop();
 
   Controller* controller_;
   ParallelConfig cfg_;
   int tag_bits_;
+  std::size_t shards_ = 16;         ///< affinity modulus (>= 1)
+  std::size_t lane_capacity_ = 0;   ///< per-lane hard bound
+  std::size_t lane_watermark_ = 0;  ///< per-lane shedding threshold
 
   // Control-plane state (single control thread).
   bool synced_ = false;
@@ -245,12 +318,12 @@ class ParallelServer {
   std::atomic<std::uint64_t> published_{0};
 
   // Data-plane pipeline.
-  BoundedMpmcQueue<TagReport> queue_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
   BoundedMpmcQueue<TagReport> failure_queue_;
-  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::vector<std::thread> workers_;
   std::thread failure_consumer_;
+  ScalProfiler prof_;
 
   // Localization-stage output + quarantine (cold paths, mutex-guarded).
   mutable Mutex failures_mu_;

@@ -1,0 +1,105 @@
+// SeqTracker unit + regression suite. The regression of record: under a
+// dup-heavy channel, duplicates older than the dedup window used to be
+// re-counted as fresh uniques, silently eroding span-minus-unique until
+// lost_estimate() read zero on a channel that was definitely lossy. The
+// fix books ambiguous in-span re-sightings separately (resights()), so
+// once window eviction has begun the estimate is monotone
+// non-decreasing as long as no genuine gap is filled — which a
+// beyond-window arrival can never be proven to be.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "veridp/seq_tracker.hpp"
+
+namespace veridp {
+namespace {
+
+TEST(SeqTracker, DedupInsideWindowAndForgettingBeyondIt) {
+  SeqTracker t(4);
+  EXPECT_TRUE(t.note(1));
+  EXPECT_FALSE(t.note(1)) << "inside the window: a known duplicate";
+  for (std::uint32_t s = 2; s <= 6; ++s) EXPECT_TRUE(t.note(s));
+  // 1 has been evicted (window 4 holds 3..6): the re-sighting is
+  // accepted — indistinguishable from a late arrival — but booked as a
+  // resight, not a fresh unique.
+  EXPECT_TRUE(t.note(1));
+  EXPECT_EQ(t.resights(), 1u);
+}
+
+TEST(SeqTracker, LostEstimateCountsInSpanGaps) {
+  SeqTracker t(1 << 12);
+  for (std::uint32_t s = 1; s <= 100; ++s)
+    if (s % 10 != 0) t.note(s);
+  // Gaps at 10,20,...,90 (100 itself is a tail loss, invisible).
+  EXPECT_EQ(t.lost_estimate(), 9u);
+}
+
+TEST(SeqTracker, GenuineLateFillBeforeEvictionNarrowsEstimate) {
+  SeqTracker t(1 << 12);  // window never evicts in this test
+  for (std::uint32_t s = 1; s <= 10; ++s)
+    if (s != 5) t.note(s);
+  EXPECT_EQ(t.lost_estimate(), 1u);
+  // While the window's memory is complete, an in-span absent seq is
+  // provably new: the reordered late arrival fills the real gap.
+  EXPECT_TRUE(t.note(5));
+  EXPECT_EQ(t.lost_estimate(), 0u);
+  EXPECT_EQ(t.resights(), 0u);
+}
+
+// The seeded dup-storm regression: 5000 storm events over a window of
+// 64. Before the fix the estimate decayed by one per accepted
+// beyond-window duplicate and ended near zero; now it must be monotone
+// non-decreasing at every single step and exactly preserve the true gap
+// count at the end.
+TEST(SeqTracker, DupStormKeepsLossEstimateMonotone) {
+  constexpr std::size_t kWindow = 64;
+  SeqTracker t(kWindow);
+
+  // Ground truth: seqs 1..999 with every multiple of 10 lost forever.
+  // (Stopping at 999 keeps the later fresh stream, which resumes at
+  // 1000, contiguous with the span — no tail loss gets exposed mid-storm
+  // to muddy the expected final count.)
+  std::vector<std::uint32_t> delivered;
+  for (std::uint32_t s = 1; s <= 999; ++s)
+    if (s % 10 != 0) delivered.push_back(s);
+  for (std::uint32_t s : delivered) t.note(s);
+  const std::uint64_t true_gaps = t.lost_estimate();
+  EXPECT_EQ(true_gaps, 99u);  // 10, 20, ..., 990
+
+  // Storm: duplicates drawn from the delivered prefix, far older than
+  // the window, interleaved with fresh in-order seqs (no new gaps).
+  Rng rng(0xd0b5ULL);
+  std::uint64_t prev = t.lost_estimate();
+  std::uint32_t next_fresh = 1000;
+  std::uint64_t accepted_dups = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.chance(0.8)) {
+      // Resend an old delivered seq; beyond the 64-deep window these
+      // are accepted (unprovable duplicates).
+      const std::uint32_t s = delivered[rng.index(delivered.size() / 2)];
+      if (t.note(s)) ++accepted_dups;
+    } else {
+      EXPECT_TRUE(t.note(next_fresh++));
+    }
+    const std::uint64_t now = t.lost_estimate();
+    ASSERT_GE(now, prev) << "loss estimate eroded at storm step " << i;
+    prev = now;
+  }
+  EXPECT_EQ(t.lost_estimate(), true_gaps)
+      << "no storm duplicate may masquerade as a gap fill";
+  EXPECT_EQ(t.resights(), accepted_dups);
+  EXPECT_GT(accepted_dups, 0u) << "the storm must actually bite";
+}
+
+TEST(SeqTracker, InWindowDuplicatesStillRejectedDuringStorm) {
+  SeqTracker t(8);
+  for (std::uint32_t s = 1; s <= 8; ++s) t.note(s);
+  EXPECT_FALSE(t.note(8)) << "still inside the window";
+  EXPECT_FALSE(t.note(5));
+  EXPECT_EQ(t.resights(), 0u);
+}
+
+}  // namespace
+}  // namespace veridp

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_parallel_verify.json: fail when the parallel
+verification pipeline stops scaling.
+
+The JSON carries two speedup families per stream (see the bench header
+in bench/ablation_parallel_verify.cc):
+
+  * pipeline_wall_speedup — measured wall-clock speedup of the lane
+    pipeline. Physically bounded by the host's core count, so it is the
+    gating metric only when the host actually has >= the swept thread
+    count of cores.
+  * projected_speedup — the load-balance projection derived from
+    per-worker thread-CPU time (critical-path shrinkage assuming one
+    core per worker). Used as the fallback gate on small hosts, where
+    it is the only scaling signal the hardware can produce.
+
+Usage:
+  check_scaling.py BENCH_parallel_verify.json --threads 4 --min-speedup 2.0
+  check_scaling.py out.json --threads 4 --min-speedup 2.0 --stream zipf_skewed
+  check_scaling.py out.json --threads 4 --min-speedup 2.0 --metric projected
+"""
+import argparse
+import json
+import sys
+
+
+def pick_metric(doc: dict, threads: int, forced: str | None) -> str:
+    if forced in ("wall", "projected"):
+        return forced
+    hw = int(doc.get("hardware_concurrency", 1))
+    return "wall" if hw >= threads else "projected"
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path")
+    ap.add_argument("--threads", type=int, default=4,
+                    help="sweep point to gate on (default: 4)")
+    ap.add_argument("--min-speedup", type=float, default=2.0,
+                    help="required speedup at --threads (default: 2.0)")
+    ap.add_argument("--stream", default="uniform_memo_miss",
+                    help="stream name to gate on "
+                         "(default: uniform_memo_miss)")
+    ap.add_argument("--metric", choices=["auto", "wall", "projected"],
+                    default="auto",
+                    help="auto: wall when the recorded "
+                         "hardware_concurrency covers --threads, else "
+                         "projected (default)")
+    args = ap.parse_args()
+
+    with open(args.json_path) as f:
+        doc = json.load(f)
+
+    streams = {s["name"]: s for s in doc.get("streams", [])}
+    if args.stream not in streams:
+        print(f"FAIL: stream {args.stream!r} not in {sorted(streams)}")
+        return 1
+    points = {p["threads"]: p for p in streams[args.stream]["points"]}
+    if args.threads not in points:
+        print(f"FAIL: no {args.threads}-thread point "
+              f"(have {sorted(points)})")
+        return 1
+    point = points[args.threads]
+
+    metric = pick_metric(doc, args.threads, None if args.metric == "auto"
+                         else args.metric)
+    key = ("pipeline_wall_speedup" if metric == "wall"
+           else "projected_speedup")
+    speedup = float(point[key])
+
+    hw = int(doc.get("hardware_concurrency", 1))
+    print(f"{args.stream} @ {args.threads} threads "
+          f"(host cores: {hw}, metric: {metric}): "
+          f"{key} = {speedup:.2f}x, floor {args.min_speedup:.2f}x")
+    prof = point.get("profile", {})
+    if prof:
+        print(f"  attribution: wait_fraction={prof.get('wait_fraction')}, "
+              f"batch_occupancy={prof.get('batch_occupancy')}, "
+              f"stolen_items={prof.get('stolen_items')}, "
+              f"lock_acquisitions={prof.get('lock_acquisitions')}")
+    if speedup < args.min_speedup:
+        print("FAIL: parallel verification no longer scales — see the "
+              "profile attribution above for where the time went")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
