@@ -76,6 +76,27 @@ class Network {
     }
   }
 
+  /// Commands every switch's sampling interval to `factor` times its
+  /// BASE interval — the absolute form of the back-off used by the
+  /// closed-loop controller (control_loop.hpp): unlike scale_sampling,
+  /// repeated calls do not compound, so a controller re-asserting
+  /// factor 4.0 each tick holds the interval steady and commanding 1.0
+  /// restores the original rate. Base intervals are captured from the
+  /// switches on the first call (a zero "sample everything" interval is
+  /// captured as `floor_interval` so the command has an effect).
+  void command_sampling(double factor, double floor_interval = 1.0) {
+    if (base_intervals_.empty()) {
+      base_intervals_.reserve(switches_.size());
+      for (Switch& s : switches_) {
+        const double cur = s.pipeline().sampler().default_interval();
+        base_intervals_.push_back(cur > 0.0 ? cur : floor_interval);
+      }
+    }
+    for (std::size_t i = 0; i < switches_.size(); ++i)
+      switches_[i].pipeline().sampler().set_default_interval(
+          base_intervals_[i] * factor);
+  }
+
   /// Injects a packet with header `h` at edge port `entry` at time `t`
   /// and forwards it to completion.
   ForwardResult inject(const PacketHeader& h, PortKey entry, double t = 0.0,
@@ -90,6 +111,7 @@ class Network {
   Topology topo_;
   int tag_bits_;
   std::vector<Switch> switches_;
+  std::vector<double> base_intervals_;  ///< lazily captured (command_sampling)
   std::function<void(const TagReport&)> sink_;
 };
 

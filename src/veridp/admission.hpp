@@ -1,0 +1,71 @@
+// Admission regimes: the server's declared overload postures.
+//
+// PR 1's load shedding was a single fixed policy (watermark + modulus)
+// whose behavior an operator could only predict by reading the ingest
+// source. Regimes make the degradation ladder explicit — each regime
+// maps to exactly one admission policy, so "what is the server doing to
+// my reports right now?" is answered by one exported enum value:
+//
+//   kNormal  →  kVerifyAll          every well-formed report is queued
+//                                   for verification (only the hard
+//                                   capacity bound can shed);
+//   kSoft    →  kDeterministicSample only the seq % shed_modulus == 0
+//                                   subset is verified — reproducible
+//                                   run-to-run, like PR 1 shedding but
+//                                   with a controller-commanded modulus;
+//   kHard    →  kQuarantineOnly     no report reaches the verify queue;
+//                                   decode quarantine and duplicate
+//                                   bookkeeping continue so the books
+//                                   still balance and recovery starts
+//                                   from accurate loss estimates.
+//
+// Transitions between regimes are decided by the ControlLoop
+// (control_loop.hpp) with hysteresis — distinct enter/exit pressure
+// thresholds — and are edge-triggered: both ingest paths count
+// transitions, never re-apply a regime they are already in, and export
+// the current regime through IngestHealth / ParallelHealth.
+#pragma once
+
+#include <cstdint>
+
+namespace veridp {
+
+enum class AdmissionRegime : std::uint8_t {
+  kNormal = 0,
+  kSoft = 1,
+  kHard = 2,
+};
+
+enum class AdmissionPolicy : std::uint8_t {
+  kVerifyAll = 0,
+  kDeterministicSample = 1,
+  kQuarantineOnly = 2,
+};
+
+/// The regime → policy map is total and fixed: operators predict
+/// behavior from the regime alone.
+[[nodiscard]] constexpr AdmissionPolicy policy_for(AdmissionRegime r) {
+  switch (r) {
+    case AdmissionRegime::kSoft:
+      return AdmissionPolicy::kDeterministicSample;
+    case AdmissionRegime::kHard:
+      return AdmissionPolicy::kQuarantineOnly;
+    case AdmissionRegime::kNormal:
+      break;
+  }
+  return AdmissionPolicy::kVerifyAll;
+}
+
+[[nodiscard]] constexpr const char* to_string(AdmissionRegime r) {
+  switch (r) {
+    case AdmissionRegime::kSoft:
+      return "soft";
+    case AdmissionRegime::kHard:
+      return "hard";
+    case AdmissionRegime::kNormal:
+      break;
+  }
+  return "normal";
+}
+
+}  // namespace veridp

@@ -1,0 +1,187 @@
+#include "veridp/control_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace veridp {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("ControlLoopConfig: ") +
+                                       what);
+}
+
+}  // namespace
+
+void ControlLoopConfig::validate() const {
+  require(setpoint > 0.0 && setpoint < 1.0, "setpoint must be in (0, 1)");
+  require(ewma_alpha > 0.0 && ewma_alpha <= 1.0,
+          "ewma_alpha must be in (0, 1]");
+  require(shed_weight >= 0.0 && loss_weight >= 0.0,
+          "pressure weights must be non-negative");
+  require(kp > 0.0 && ki >= 0.0, "gains: kp > 0, ki >= 0");
+  require(integral_limit > 0.0, "integral_limit must be positive");
+  require(slew_limit > 0.0, "slew_limit must be positive");
+  require(max_sampling_factor >= 1.0, "max_sampling_factor must be >= 1");
+  require(max_shed_modulus >= 2, "max_shed_modulus must be >= 2");
+  require(soft_exit > 0.0, "soft_exit must be positive");
+  require(soft_exit < soft_enter, "hysteresis: soft_exit < soft_enter");
+  require(hard_exit < hard_enter, "hysteresis: hard_exit < hard_enter");
+  require(soft_enter <= hard_enter, "bands: soft_enter <= hard_enter");
+  require(soft_exit <= hard_exit, "bands: soft_exit <= hard_exit");
+  require(trace_keep > 0, "trace_keep must be positive");
+}
+
+ControlLoop::ControlLoop(ControlLoopConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
+  max_log2_factor_ = std::log2(cfg_.max_sampling_factor);
+}
+
+double ControlLoop::sampling_factor() const {
+  return std::exp2(log2_factor_);
+}
+
+double ControlLoop::raw_pressure(const PressureSample& s) const {
+  const double cap = s.queue_capacity ? static_cast<double>(s.queue_capacity)
+                                      : 1.0;
+  double p = static_cast<double>(s.queue_depth) / cap;
+  if (have_prev_) {
+    const std::uint64_t d_recv =
+        s.received >= prev_.received ? s.received - prev_.received : 0;
+    const std::uint64_t d_shed =
+        s.shed >= prev_.shed ? s.shed - prev_.shed : 0;
+    const std::uint64_t d_lost = s.lost_estimate >= prev_.lost_estimate
+                                     ? s.lost_estimate - prev_.lost_estimate
+                                     : 0;
+    if (d_recv > 0) {
+      const double shed_frac =
+          static_cast<double>(d_shed) / static_cast<double>(d_recv);
+      p += cfg_.shed_weight * std::min(1.0, shed_frac);
+    }
+    if (d_recv + d_lost > 0) {
+      const double loss_frac = static_cast<double>(d_lost) /
+                               static_cast<double>(d_recv + d_lost);
+      p += cfg_.loss_weight * std::min(1.0, loss_frac);
+    }
+  }
+  return std::min(p, 1.2);
+}
+
+AdmissionRegime ControlLoop::next_regime(AdmissionRegime cur,
+                                         double pressure) const {
+  // Hysteresis: each band is entered at `enter` and left below `exit`
+  // (enter > exit, validated). The function is monotone in `pressure`
+  // for every fixed `cur`: raising pressure can only move the result
+  // toward kHard, lowering it only toward kNormal.
+  switch (cur) {
+    case AdmissionRegime::kNormal:
+      if (pressure >= cfg_.hard_enter) return AdmissionRegime::kHard;
+      if (pressure >= cfg_.soft_enter) return AdmissionRegime::kSoft;
+      return AdmissionRegime::kNormal;
+    case AdmissionRegime::kSoft:
+      if (pressure >= cfg_.hard_enter) return AdmissionRegime::kHard;
+      if (pressure < cfg_.soft_exit) return AdmissionRegime::kNormal;
+      return AdmissionRegime::kSoft;
+    case AdmissionRegime::kHard:
+      if (pressure >= cfg_.hard_exit) return AdmissionRegime::kHard;
+      if (pressure < cfg_.soft_exit) return AdmissionRegime::kNormal;
+      return AdmissionRegime::kSoft;
+  }
+  return cur;
+}
+
+std::uint32_t ControlLoop::modulus_for(AdmissionRegime r,
+                                       double pressure) const {
+  switch (r) {
+    case AdmissionRegime::kNormal:
+      return 1;  // verify-all
+    case AdmissionRegime::kHard:
+      return cfg_.max_shed_modulus;  // reported for visibility; the
+                                     // policy quarantines everything
+    case AdmissionRegime::kSoft:
+      break;
+  }
+  // Deterministic sample: the modulus doubles as pressure climbs through
+  // the soft band — monotone in pressure, power of two for a predictable
+  // kept fraction (1/2, 1/4, 1/8, ...).
+  const double span = cfg_.hard_enter - cfg_.soft_exit;
+  const double x = span > 0.0
+                       ? std::clamp((pressure - cfg_.soft_exit) / span, 0.0,
+                                    1.0)
+                       : 1.0;
+  std::uint32_t m = 2;
+  while (m < cfg_.max_shed_modulus &&
+         static_cast<double>(m) < std::exp2(1.0 + 5.0 * x))
+    m <<= 1;
+  return std::min(m, cfg_.max_shed_modulus);
+}
+
+ControlDecision ControlLoop::tick(const PressureSample& s,
+                                  bool publisher_failsafe) {
+  const double raw = raw_pressure(s);
+  pressure_ = have_prev_
+                  ? cfg_.ewma_alpha * raw + (1.0 - cfg_.ewma_alpha) * pressure_
+                  : raw;
+  prev_ = s;
+  have_prev_ = true;
+
+  // PI law in log2-factor space with conditional integration: when the
+  // actuator is pinned at a rail, only error pulling it off the rail is
+  // accumulated — the classic anti-windup guard.
+  const double error = pressure_ - cfg_.setpoint;
+  const bool sat_hi = log2_factor_ >= max_log2_factor_;
+  const bool sat_lo = log2_factor_ <= 0.0;
+  if (!((sat_hi && error > 0.0) || (sat_lo && error < 0.0)))
+    integral_ = std::clamp(integral_ + error, -cfg_.integral_limit,
+                           cfg_.integral_limit);
+  const double u = cfg_.kp * error + cfg_.ki * integral_;
+  const double target = std::clamp(u, 0.0, max_log2_factor_);
+  // Bounded slew: the commanded factor never jumps more than
+  // 2^slew_limit per tick in either direction.
+  log2_factor_ += std::clamp(target - log2_factor_, -cfg_.slew_limit,
+                             cfg_.slew_limit);
+
+  const AdmissionRegime next = next_regime(regime_, pressure_);
+  const bool changed = next != regime_;
+  if (changed) {
+    regime_ = next;
+    ++transitions_;
+  }
+
+  ControlDecision d;
+  d.tick = tick_++;
+  d.pressure = pressure_;
+  d.sampling_factor = sampling_factor();
+  d.shed_modulus = modulus_for(regime_, pressure_);
+  d.regime = regime_;
+  d.regime_changed = changed;
+  d.failsafe = publisher_failsafe;
+  trace_.push_back(d);
+  if (trace_.size() > cfg_.trace_keep) trace_.pop_front();
+  return d;
+}
+
+IngestGovernor::IngestGovernor(ReportIngest& ingest, ControlLoopConfig cfg)
+    : ingest_(&ingest), loop_(cfg) {}
+
+ControlDecision IngestGovernor::tick(bool publisher_failsafe) {
+  const IngestHealth h = ingest_->health();
+  PressureSample s;
+  s.queue_depth = ingest_->queue_depth();
+  s.queue_capacity = ingest_->config().capacity;
+  s.received = h.received;
+  s.shed = h.shed;
+  s.lost_estimate = h.lost_estimate;
+  const ControlDecision d = loop_.tick(s, publisher_failsafe);
+  ingest_->govern(d.regime, d.shed_modulus);
+  if (sampling_sink_ && d.sampling_factor != applied_factor_) {
+    sampling_sink_(d.sampling_factor);
+    applied_factor_ = d.sampling_factor;
+  }
+  return d;
+}
+
+}  // namespace veridp

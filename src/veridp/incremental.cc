@@ -300,6 +300,17 @@ IncrementalUpdater::UpdateStats IncrementalUpdater::apply(
                   delta->gaining_port);
 }
 
+IncrementalUpdater::UpdateStats IncrementalUpdater::apply_batch(
+    const std::vector<RuleEvent>& events) {
+  UpdateStats total;
+  for (const RuleEvent& ev : events) {
+    const UpdateStats s = apply(ev);
+    total.nodes_touched += s.nodes_touched;
+    total.inports_touched += s.inports_touched;
+  }
+  return total;
+}
+
 bool IncrementalUpdater::consistent_with_rebuild() const {
   RuleTreeProvider provider(trees_);
   PathTableBuilder builder(*space_, *topo_, provider, tag_bits_);

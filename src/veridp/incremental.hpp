@@ -74,6 +74,11 @@ class IncrementalUpdater {
   /// Applies one rule add/delete incrementally.
   UpdateStats apply(const RuleEvent& ev);
 
+  /// Replays a deferred event sequence in order, summing the stats.
+  /// Used by the A/B failsafe recovery path: events queued while the
+  /// publisher was wedged are applied as one batch once it recovers.
+  UpdateStats apply_batch(const std::vector<RuleEvent>& events);
+
   [[nodiscard]] const PathTable& table() const { return table_; }
   [[nodiscard]] const RuleTree& tree(SwitchId s) const {
     return *trees_[static_cast<std::size_t>(s)];

@@ -1,13 +1,35 @@
 #include "veridp/ingest.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "dataplane/wire.hpp"
 
 namespace veridp {
 
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok)
+    throw std::invalid_argument(std::string("IngestConfig: ") + what);
+}
+
+}  // namespace
+
+void IngestConfig::validate() const {
+  require(capacity > 0, "capacity must be positive");
+  require(high_watermark < capacity,
+          "high_watermark must be below capacity (shedding must engage "
+          "before the hard bound)");
+  require(shed_modulus != 0, "shed_modulus must be non-zero");
+  require(backoff_factor >= 1.0,
+          "backoff_factor must be >= 1.0 (a back-off below 1 would speed "
+          "switches up)");
+}
+
 ReportIngest::ReportIngest(Server& server, IngestConfig cfg)
     : server_(&server), cfg_(cfg) {
-  if (cfg_.high_watermark > cfg_.capacity) cfg_.high_watermark = cfg_.capacity;
-  if (cfg_.shed_modulus == 0) cfg_.shed_modulus = 1;
+  cfg_.validate();
 }
 
 bool ReportIngest::note_sequence(SwitchId sw, std::uint32_t seq) {
@@ -34,6 +56,59 @@ void ReportIngest::maybe_signal_backoff() {
   backoff_next_at_ = health_.received + (1ull << backoff_retries_);
 }
 
+void ReportIngest::govern(AdmissionRegime regime,
+                          std::uint32_t shed_modulus) {
+  governed_ = true;
+  if (shed_modulus != 0) cfg_.shed_modulus = shed_modulus;
+  if (regime != regime_) {
+    regime_ = regime;
+    ++health_.regime_transitions;
+  }
+}
+
+bool ReportIngest::admit(std::uint32_t seq) {
+  if (governed_) {
+    // Declared regime policies (admission.hpp). The one-shot back-off
+    // signal stays quiet: the control loop commands the sampling rate
+    // directly, and two actuators on one knob would fight.
+    switch (policy_for(regime_)) {
+      case AdmissionPolicy::kQuarantineOnly:
+        ++health_.shed;
+        return false;
+      case AdmissionPolicy::kDeterministicSample:
+        if (queue_.size() >= cfg_.capacity || seq % cfg_.shed_modulus != 0) {
+          ++health_.shed;
+          return false;
+        }
+        return true;
+      case AdmissionPolicy::kVerifyAll:
+        if (queue_.size() >= cfg_.capacity) {
+          ++health_.shed;
+          return false;
+        }
+        return true;
+    }
+    return true;  // unreachable
+  }
+  // Ungoverned legacy policy: fixed watermark + deterministic modulus +
+  // one-shot exponential back-off signal.
+  if (queue_.size() >= cfg_.capacity) {
+    ++health_.shed;
+    maybe_signal_backoff();
+    return false;
+  }
+  if (queue_.size() >= cfg_.high_watermark) {
+    maybe_signal_backoff();
+    // Deterministic sample: the kept subset depends only on sequence
+    // numbers, so a rerun with the same seed sheds the same reports.
+    if (seq % cfg_.shed_modulus != 0) {
+      ++health_.shed;
+      return false;
+    }
+  }
+  return true;
+}
+
 bool ReportIngest::offer(const std::vector<std::uint8_t>& datagram) {
   ++health_.received;
   auto report = wire::decode_report(datagram);
@@ -50,20 +125,7 @@ bool ReportIngest::offer(const std::vector<std::uint8_t>& datagram) {
     return false;
   }
 
-  if (queue_.size() >= cfg_.capacity) {
-    ++health_.shed;
-    maybe_signal_backoff();
-    return false;
-  }
-  if (queue_.size() >= cfg_.high_watermark) {
-    maybe_signal_backoff();
-    // Deterministic sample: the kept subset depends only on sequence
-    // numbers, so a rerun with the same seed sheds the same reports.
-    if (report->seq % cfg_.shed_modulus != 0) {
-      ++health_.shed;
-      return false;
-    }
-  }
+  if (!admit(report->seq)) return false;
   queue_.push_back(*report);
   return true;
 }
@@ -74,18 +136,7 @@ bool ReportIngest::offer_report(const TagReport& report) {
     ++health_.deduped;
     return false;
   }
-  if (queue_.size() >= cfg_.capacity) {
-    ++health_.shed;
-    maybe_signal_backoff();
-    return false;
-  }
-  if (queue_.size() >= cfg_.high_watermark) {
-    maybe_signal_backoff();
-    if (report.seq % cfg_.shed_modulus != 0) {
-      ++health_.shed;
-      return false;
-    }
-  }
+  if (!admit(report.seq)) return false;
   queue_.push_back(report);
   return true;
 }
@@ -112,6 +163,8 @@ std::size_t ReportIngest::process(std::size_t max) {
 
 IngestHealth ReportIngest::health() const {
   IngestHealth h = health_;
+  h.in_queue = queue_.size();
+  h.regime = regime_;
   h.lost_estimate = 0;
   for (const auto& [sw, tracker] : seq_state_)
     h.lost_estimate += tracker.lost_estimate();

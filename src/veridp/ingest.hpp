@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "veridp/admission.hpp"
 #include "veridp/seq_tracker.hpp"
 #include "veridp/server.hpp"
 
@@ -54,6 +55,14 @@ struct IngestConfig {
   int backoff_max_retries = 6;        ///< signal retries before giving up
   std::size_t quarantine_keep = 16;   ///< malformed payloads retained
   std::size_t failure_keep = 32;      ///< failed reports retained
+
+  /// Throws std::invalid_argument on a config that silently misbehaves:
+  /// capacity == 0 (nothing can ever be queued), high_watermark >=
+  /// capacity (shedding could not engage before the hard bound),
+  /// shed_modulus == 0 (seq % 0 is UB) and backoff_factor < 1.0 (the
+  /// "back-off" would speed switches up). ReportIngest validates at
+  /// construction.
+  void validate() const;
 };
 
 struct IngestHealth {
@@ -64,20 +73,31 @@ struct IngestHealth {
   std::uint64_t shed = 0;         ///< dropped by load shedding
   std::uint64_t quarantined = 0;  ///< failed decode
   std::uint64_t deduped = 0;      ///< duplicate seq suppressed
+  std::uint64_t in_queue = 0;     ///< admitted, not yet verified
   std::uint64_t lost_estimate = 0;    ///< per-switch seq gaps
   std::uint64_t backoff_signals = 0;  ///< back-off attempts sent
   std::uint64_t backoff_acked = 0;    ///< attempts acknowledged
+  AdmissionRegime regime = AdmissionRegime::kNormal;  ///< commanded regime
+  std::uint64_t regime_transitions = 0;  ///< edge-triggered changes applied
 
   /// Everything that reached a terminal bucket. Equals `received` once
   /// the queue is drained (the conservation law above).
   [[nodiscard]] std::uint64_t accounted() const {
     return passed + failed + stale + shed + quarantined + deduped;
   }
+  /// The conservation law INCLUDING in-flight reports: every received
+  /// datagram is in exactly one terminal bucket or still queued. Exact
+  /// at any point of the sequential ingest's life — the invariants
+  /// harness asserts it mid-flight, not only after drain.
+  [[nodiscard]] bool conserved() const {
+    return accounted() + in_queue == received;
+  }
 };
 
 class ReportIngest {
  public:
-  /// The server must outlive the ingest.
+  /// The server must outlive the ingest. Throws std::invalid_argument
+  /// if `cfg` fails IngestConfig::validate().
   explicit ReportIngest(Server& server, IngestConfig cfg = {});
 
   /// Back-off transport: invoked with the sampling-interval factor when
@@ -100,9 +120,23 @@ class ReportIngest {
   /// Verifies up to `max` queued reports. Returns how many it verified.
   std::size_t process(std::size_t max = SIZE_MAX);
 
+  /// Hands admission over to a control loop: from now on the commanded
+  /// regime's declared policy (admission.hpp) replaces the fixed
+  /// watermark + one-shot back-off of the ungoverned ingest —
+  /// kNormal verifies all (hard capacity bound only), kSoft keeps the
+  /// deterministic seq % modulus == 0 sample, kHard admits nothing to
+  /// the verify queue. Edge-triggered: applying the current regime
+  /// again only updates the modulus. Typically called each tick by
+  /// IngestGovernor (control_loop.hpp).
+  void govern(AdmissionRegime regime, std::uint32_t shed_modulus);
+  [[nodiscard]] bool governed() const { return governed_; }
+  [[nodiscard]] AdmissionRegime regime() const { return regime_; }
+
+  [[nodiscard]] const IngestConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] bool shedding() const {
-    return queue_.size() >= cfg_.high_watermark;
+    return governed_ ? regime_ != AdmissionRegime::kNormal
+                     : queue_.size() >= cfg_.high_watermark;
   }
   /// Health counters with the loss estimate refreshed.
   [[nodiscard]] IngestHealth health() const;
@@ -122,10 +156,15 @@ class ReportIngest {
   /// Returns false if the report is a duplicate.
   bool note_sequence(SwitchId sw, std::uint32_t seq);
   void maybe_signal_backoff();
+  /// Post-dedup admission decision shared by offer / offer_report:
+  /// returns true iff the report should be queued (false: counted shed).
+  bool admit(std::uint32_t seq);
 
   Server* server_;
   IngestConfig cfg_;
   IngestHealth health_;
+  bool governed_ = false;  ///< a control loop commands admission
+  AdmissionRegime regime_ = AdmissionRegime::kNormal;
   std::deque<TagReport> queue_;
   std::unordered_map<SwitchId, SeqTracker> seq_state_;
   std::deque<std::vector<std::uint8_t>> quarantine_;

@@ -12,6 +12,7 @@ EpochTables EpochSnapshot::view() const {
   t.epoch_checking = epoch_checking;
   t.epoch = epoch;
   t.table_valid_from = table_valid_from;
+  t.table_valid_to = table_valid_to;
   t.grace_window = grace_window;
   t.current = current.get();
   t.ring = ranges.data();
@@ -82,6 +83,7 @@ void ParallelServer::rebuild_snapshot() {
   auto next = std::make_shared<EpochSnapshot>();
   next->epoch = epoch_;
   next->table_valid_from = epoch_;
+  next->table_valid_to = epoch_;  // covers exactly what it was built from
   next->grace_window = grace_window_;
   next->epoch_checking = epoch_checking_;
   next->current = std::move(table);
@@ -105,8 +107,15 @@ void ParallelServer::rebuild_snapshot() {
     }
   }
 
+  // A/B flip: the finished unit lands in the inactive slot, then one
+  // atomic store makes it the served snapshot. A successful publish
+  // always clears any standing failsafe.
+  slots_[1 - active_slot_] = next;
+  active_slot_ = 1 - active_slot_;
   snap_.store(next, std::memory_order_release);  // the publication point
   dirty_ = false;
+  missed_heartbeats_ = 0;
+  in_failsafe_.store(false, std::memory_order_relaxed);
   published_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -121,7 +130,49 @@ void ParallelServer::publish() {
     sync();
     return;
   }
-  if (dirty_) rebuild_snapshot();
+  if (dirty_ && !publisher_wedged()) rebuild_snapshot();
+}
+
+bool ParallelServer::heartbeat(std::uint64_t deadline_ticks) {
+  if (!synced_) {
+    sync();
+    return false;
+  }
+  if (!dirty_) {
+    // Nothing pending: the active slot is definitionally good.
+    missed_heartbeats_ = 0;
+    in_failsafe_.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  if (!publisher_wedged()) {
+    rebuild_snapshot();  // flips, clears missed/failsafe
+    return false;
+  }
+  ++missed_heartbeats_;
+  if (missed_heartbeats_ >= deadline_ticks &&
+      !in_failsafe_.load(std::memory_order_relaxed)) {
+    // Watchdog: the publisher missed its deadline with events pending.
+    // Drop whatever the wedged build left in the inactive slot and
+    // re-assert the last-good active slot as the served snapshot. Its
+    // table_valid_to predates the pending events, so every report
+    // stamped after the wedge degrades to pass-conclusive /
+    // kStaleEpoch — inconclusive, never a false positive.
+    slots_[1 - active_slot_].reset();
+    snap_.store(slots_[active_slot_], std::memory_order_release);
+    in_failsafe_.store(true, std::memory_order_relaxed);
+    failsafe_events_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return in_failsafe_.load(std::memory_order_relaxed);
+}
+
+void ParallelServer::govern(AdmissionRegime regime,
+                            std::uint32_t shed_modulus) {
+  governed_.store(true, std::memory_order_relaxed);
+  if (shed_modulus != 0)
+    governed_modulus_.store(shed_modulus, std::memory_order_relaxed);
+  const auto next = static_cast<std::uint8_t>(regime);
+  if (regime_.exchange(next, std::memory_order_relaxed) != next)
+    regime_transitions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 unsigned ParallelServer::worker_count() const {
@@ -210,13 +261,39 @@ bool ParallelServer::submit(const TagReport& report) {
   // Shed checks run outside the lane ingest lock — the queue has its
   // own synchronization and the depth reading is advisory anyway.
   const std::size_t depth = lane.q.size();
-  if (depth >= lane_capacity_) {
-    count_shed(lane);
-    return false;
-  }
-  if (depth >= lane_watermark_ && report.seq % cfg_.shed_modulus != 0) {
-    count_shed(lane);
-    return false;
+  if (governed_.load(std::memory_order_relaxed)) {
+    // A control loop commands admission: the regime's declared policy
+    // (admission.hpp) replaces the fixed watermark.
+    switch (policy_for(static_cast<AdmissionRegime>(
+        regime_.load(std::memory_order_relaxed)))) {
+      case AdmissionPolicy::kQuarantineOnly:
+        count_shed(lane);
+        return false;
+      case AdmissionPolicy::kDeterministicSample:
+        if (depth >= lane_capacity_ ||
+            report.seq %
+                    governed_modulus_.load(std::memory_order_relaxed) !=
+                0) {
+          count_shed(lane);
+          return false;
+        }
+        break;
+      case AdmissionPolicy::kVerifyAll:
+        if (depth >= lane_capacity_) {
+          count_shed(lane);
+          return false;
+        }
+        break;
+    }
+  } else {
+    if (depth >= lane_capacity_) {
+      count_shed(lane);
+      return false;
+    }
+    if (depth >= lane_watermark_ && report.seq % cfg_.shed_modulus != 0) {
+      count_shed(lane);
+      return false;
+    }
   }
   if (!lane.q.try_push(report)) {
     count_shed(lane);
@@ -427,6 +504,13 @@ ParallelHealth ParallelServer::health() const {
     h.stale += ws->stale.load(std::memory_order_relaxed);
     h.memo_hits += ws->memo_hits.load(std::memory_order_relaxed);
   }
+  h.in_queue = queue_depth();
+  h.regime =
+      static_cast<AdmissionRegime>(regime_.load(std::memory_order_relaxed));
+  h.regime_transitions =
+      regime_transitions_.load(std::memory_order_relaxed);
+  h.failsafe_events = failsafe_events_.load(std::memory_order_relaxed);
+  h.snapshot_flips = published_.load(std::memory_order_relaxed);
   return h;
 }
 

@@ -74,6 +74,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -82,6 +83,7 @@
 #include "common/scal_profiler.hpp"
 #include "common/thread_annotations.hpp"
 #include "controller/controller.hpp"
+#include "veridp/admission.hpp"
 #include "veridp/localizer.hpp"
 #include "veridp/mpmc_queue.hpp"
 #include "veridp/seq_tracker.hpp"
@@ -104,10 +106,11 @@ struct ParallelConfig {
 };
 
 /// Merged health counters (the parallel analogue of IngestHealth).
-/// Conservation law — once drained, every submitted report sits in
-/// exactly one terminal bucket:
+/// Conservation law — every submitted report sits in exactly one
+/// terminal bucket or is still queued:
 ///
 ///   received == passed + failed + stale + shed + quarantined + deduped
+///               + in_queue
 ///
 /// and within the verified portion:
 ///
@@ -132,12 +135,23 @@ struct ParallelHealth {
   std::uint64_t deduped = 0;
   std::uint64_t lost_estimate = 0;
   std::uint64_t memo_hits = 0;  ///< verified via the memo fast path
+  std::uint64_t in_queue = 0;   ///< admitted, not yet verified
+  AdmissionRegime regime = AdmissionRegime::kNormal;  ///< commanded regime
+  std::uint64_t regime_transitions = 0;  ///< edge-triggered changes applied
+  std::uint64_t failsafe_events = 0;     ///< watchdog failovers (loud)
+  std::uint64_t snapshot_flips = 0;      ///< A/B slot publications
 
   [[nodiscard]] std::uint64_t accounted() const {
     return passed + failed + stale + shed + quarantined + deduped;
   }
+  /// Exact whenever no worker is mid-batch (before start(), after
+  /// drain()/stop(), or with producers and workers quiescent): between a
+  /// worker popping a batch and counting its verdicts the reports are in
+  /// neither bucket, so a mid-flight snapshot may transiently violate
+  /// the law — the sequential IngestHealth::conserved() is the
+  /// any-time-exact variant.
   [[nodiscard]] bool conserved() const {
-    return accounted() == received &&
+    return accounted() + in_queue == received &&
            verified == passed + failed + stale && memo_hits <= verified;
   }
 };
@@ -148,6 +162,12 @@ struct ParallelHealth {
 struct EpochSnapshot {
   std::uint32_t epoch = 0;
   std::uint32_t table_valid_from = 0;
+  /// Last epoch the snapshot's current table definitively covers —
+  /// the epoch at publication. Reports stamped beyond it (rule events
+  /// the publisher has not absorbed, e.g. while wedged in failsafe) fall
+  /// under verify_epoch_aware's ahead-of-table rule: pass-conclusive,
+  /// mismatch → kStaleEpoch, never a false positive.
+  std::uint32_t table_valid_to = UINT32_MAX;
   std::uint32_t grace_window = 64;
   bool epoch_checking = false;
   std::shared_ptr<const PathTable> current;
@@ -190,8 +210,53 @@ class ParallelServer {
 
   /// Publishes a fresh snapshot if rule events arrived since the last
   /// one (lazy, like Server's dirty rebuild). Safe while workers run —
-  /// that is the point.
+  /// that is the point. Declines (keeps serving the active slot) while
+  /// the publisher fault hook is wedged — the heartbeat watchdog, not
+  /// publish(), decides when that becomes a failsafe event.
   void publish();
+
+  // -- Publisher heartbeat + A/B failsafe -----------------------------------
+  /// Fault-injection hook: while it returns true the snapshot publisher
+  /// is wedged — publish()/heartbeat() build nothing and the active A/B
+  /// slot keeps serving. Control thread only.
+  void set_publish_fault(std::function<bool()> fault) {
+    publish_fault_ = std::move(fault);
+  }
+  /// One publisher heartbeat (control thread, once per control tick).
+  /// Pending rule events are published (built into the inactive A/B
+  /// slot, then flipped) unless the publisher is wedged; a publisher
+  /// that stays wedged for `deadline_ticks` consecutive heartbeats
+  /// trips the watchdog: the abandoned inactive slot is dropped, the
+  /// last-good active slot is re-asserted as the served snapshot, and
+  /// failsafe_events is bumped (edge-triggered, loud). Recovery is
+  /// automatic — the first un-wedged heartbeat with pending events
+  /// publishes and clears the failsafe. Returns in_failsafe().
+  bool heartbeat(std::uint64_t deadline_ticks = 3);
+  /// True while the watchdog is serving the last-good slot because the
+  /// publisher missed its heartbeat deadline with events pending.
+  [[nodiscard]] bool in_failsafe() const {
+    return in_failsafe_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t failsafe_events() const {
+    return failsafe_events_.load(std::memory_order_relaxed);
+  }
+
+  /// Hands admission over to a control loop (IngestGovernor / the
+  /// operator): the commanded regime's declared policy (admission.hpp)
+  /// replaces the fixed per-lane watermark — kNormal admits up to the
+  /// lane bound, kSoft keeps the deterministic seq % modulus sample,
+  /// kHard admits nothing. Edge-triggered transition counting. Control
+  /// thread writes; submit() reads the commands with relaxed atomics
+  /// (a report raced with a regime flip lands under either policy,
+  /// both of which conserve).
+  void govern(AdmissionRegime regime, std::uint32_t shed_modulus);
+  [[nodiscard]] bool governed() const {
+    return governed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] AdmissionRegime regime() const {
+    return static_cast<AdmissionRegime>(
+        regime_.load(std::memory_order_relaxed));
+  }
 
   /// Verifies `reports` across `workers` threads (0 = configured count)
   /// against the currently published snapshot and returns merged totals.
@@ -284,6 +349,9 @@ class ParallelServer {
 
   void on_rule_event(const RuleEvent& ev);
   void rebuild_snapshot();
+  [[nodiscard]] bool publisher_wedged() const {
+    return publish_fault_ && publish_fault_();
+  }
   Lane& lane_for(SwitchId sw) {
     const std::size_t shard = static_cast<std::size_t>(sw) % shards_;
     return *lanes_[shard % lanes_.size()];
@@ -316,6 +384,25 @@ class ParallelServer {
   // Published state (read lock-free by workers).
   std::atomic<std::shared_ptr<const EpochSnapshot>> snap_;
   std::atomic<std::uint64_t> published_{0};
+
+  // A/B publication slots (control thread only; `snap_` is the reader-
+  // visible pointer). The publisher builds into the inactive slot and
+  // flips by storing it to snap_; the active slot pins the last
+  // successfully published snapshot so the watchdog always has a
+  // known-good unit to fail over to, whatever state a wedged build
+  // left the other slot in.
+  std::shared_ptr<const EpochSnapshot> slots_[2];
+  unsigned active_slot_ = 0;
+  std::function<bool()> publish_fault_;
+  std::uint64_t missed_heartbeats_ = 0;
+  std::atomic<bool> in_failsafe_{false};
+  std::atomic<std::uint64_t> failsafe_events_{0};
+
+  // Admission commands (control thread writes, submit() reads).
+  std::atomic<bool> governed_{false};
+  std::atomic<std::uint8_t> regime_{0};
+  std::atomic<std::uint32_t> governed_modulus_{1};
+  std::atomic<std::uint64_t> regime_transitions_{0};
 
   // Data-plane pipeline.
   std::vector<std::unique_ptr<Lane>> lanes_;

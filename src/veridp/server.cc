@@ -23,6 +23,16 @@ void Server::on_rule_event(const RuleEvent& ev) {
   epoch_ = controller_->epoch();  // events arrive post-bump
   if (!synced_) return;  // events before the first sync are folded into it
   if (mode_ == Mode::kIncremental) {
+    if (publisher_wedged() || !deferred_.empty()) {
+      // Publisher wedged (or still holding a backlog): defer the event
+      // instead of mutating the table — the last-good table keeps
+      // serving, and ensure_fresh replays the backlog in order once the
+      // wedge clears.
+      if (deferred_.empty()) dirty_from_ = epoch_;
+      deferred_.push_back(ev);
+      dirty_ = true;
+      return;
+    }
     updater_->apply(ev);
     table_valid_from_ = epoch_;
     memo_.clear();  // table mutated in place: cached verdicts are void
@@ -73,7 +83,28 @@ void Server::sync() {
 
 void Server::ensure_fresh() {
   if (!synced_) sync();
-  if (dirty_) rebuild();
+  if (!dirty_) return;
+  if (publisher_wedged()) {
+    // Failsafe: keep serving the last-good table. epoch_tables() caps
+    // table_valid_to at the last pre-event epoch, so the ahead-of-table
+    // rule turns would-be false positives into kStaleEpoch.
+    if (!in_failsafe_) {
+      in_failsafe_ = true;
+      ++failsafe_events_;
+    }
+    return;
+  }
+  if (mode_ == Mode::kIncremental) {
+    // Recovery: replay the backlog deferred while wedged, in order.
+    updater_->apply_batch(deferred_);
+    deferred_.clear();
+    table_valid_from_ = epoch_;
+    memo_.clear();
+    dirty_ = false;
+  } else {
+    rebuild();
+  }
+  in_failsafe_ = false;
 }
 
 const PathTable& Server::current_table() const {
@@ -92,6 +123,10 @@ EpochTables Server::epoch_tables() const {
   t.epoch_checking = epoch_checking_;
   t.epoch = epoch_;
   t.table_valid_from = table_valid_from_;
+  // Dirty (only possible here when the publisher is wedged — verify()
+  // runs ensure_fresh first): the current table definitively covers only
+  // epochs before the first pending event.
+  t.table_valid_to = dirty_ ? dirty_from_ - 1 : epoch_;
   t.grace_window = grace_window_;
   t.current = &current_table();
   t.ring = ring_view_.data();

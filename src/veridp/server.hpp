@@ -24,6 +24,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -95,6 +96,24 @@ class Server {
   /// Duplicate-report memo effectiveness (see VerifyMemo).
   [[nodiscard]] std::uint64_t memo_hits() const { return memo_.hits(); }
 
+  /// Fault-injection hook for the table publisher: while it returns
+  /// true, rebuilds (kFullRebuild) / event application (kIncremental)
+  /// are wedged. The server then serves the last-good table in failsafe
+  /// mode — verification degrades to the ahead-of-table rule (a pass is
+  /// conclusive, a mismatch is kStaleEpoch, never a false positive) —
+  /// and recovers automatically once the hook clears: kFullRebuild
+  /// rebuilds, kIncremental replays the deferred events in order.
+  void set_publish_fault(std::function<bool()> fault) {
+    publish_fault_ = std::move(fault);
+  }
+  /// True while serving the last-good table because the publisher is
+  /// wedged behind pending rule events.
+  [[nodiscard]] bool in_failsafe() const { return in_failsafe_; }
+  /// Edge-triggered count of failsafe engagements (loud by design).
+  [[nodiscard]] std::uint64_t failsafe_events() const {
+    return failsafe_events_;
+  }
+
  private:
   struct Snapshot {
     std::uint32_t first_epoch = 0;  ///< valid range, inclusive
@@ -105,6 +124,9 @@ class Server {
   void on_rule_event(const RuleEvent& ev);
   void rebuild();
   void ensure_fresh();
+  [[nodiscard]] bool publisher_wedged() const {
+    return publish_fault_ && publish_fault_();
+  }
   [[nodiscard]] const PathTable& current_table() const;
   /// View of the epoch → table state consumed by verify_epoch_aware
   /// (the classification shared with ParallelServer). Requires
@@ -120,6 +142,12 @@ class Server {
   std::unique_ptr<Verifier> verifier_;
   bool synced_ = false;
   bool dirty_ = false;
+
+  // Failsafe state (see set_publish_fault).
+  std::function<bool()> publish_fault_;
+  bool in_failsafe_ = false;
+  std::uint64_t failsafe_events_ = 0;
+  std::vector<RuleEvent> deferred_;  ///< kIncremental events queued while wedged
 
   // Epoch state.
   bool epoch_checking_ = false;

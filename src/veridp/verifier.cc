@@ -28,7 +28,7 @@ Verdict Verifier::check(const TagReport& report, const PathTable& table) {
 }
 
 const PathTable* EpochTables::for_epoch(std::uint32_t e) const {
-  if (e >= table_valid_from) return current;
+  if (e >= table_valid_from && e <= table_valid_to) return current;
   for (std::size_t i = 0; i < ring_size; ++i)
     if (ring[i].first_epoch <= e && e <= ring[i].last_epoch)
       return ring[i].table;
@@ -44,6 +44,19 @@ Verdict verify_epoch_aware(const TagReport& report, const EpochTables& t) {
 
   if (const PathTable* tbl = t.for_epoch(report.epoch))
     return Verifier::check(report, *tbl);
+
+  // Ahead-of-table: the report was stamped under an epoch newer than
+  // anything the current table definitively covers (the publisher lags
+  // the config — dirty-but-unpublished events, or the A/B failsafe
+  // serving the last-good snapshot while the publisher is wedged). A
+  // pass against the current table is conclusive; a mismatch may merely
+  // reflect the config delta the table has not absorbed yet, so it is
+  // inconclusive — never a data-plane failure.
+  if (report.epoch > t.table_valid_to) {
+    const Verdict v = Verifier::check(report, *t.current);
+    if (v.ok()) return v;
+    return Verdict{VerifyStatus::kStaleEpoch, nullptr, report.epoch};
+  }
 
   // No table covers the report's epoch (a snapshot that aged out, or an
   // epoch that fell between two lazy rebuilds). Within the grace window

@@ -74,6 +74,15 @@ struct EpochTables {
   bool epoch_checking = false;
   std::uint32_t epoch = 0;             ///< latest observed config epoch
   std::uint32_t table_valid_from = 0;  ///< current table's first epoch
+  /// Last epoch the current table DEFINITIVELY covers. When the owner is
+  /// clean this equals `epoch`; when rule events are pending (a lazy
+  /// rebuild not yet run, or a wedged snapshot publisher in failsafe)
+  /// it stops at the last pre-event epoch. Reports stamped beyond it
+  /// were sampled under a config this table does not reflect — they may
+  /// still conclusively PASS against it, but a mismatch is classified
+  /// kStaleEpoch, never failed (the ahead-of-table rule below). The
+  /// default covers owners that never publish staleness.
+  std::uint32_t table_valid_to = UINT32_MAX;
   std::uint32_t grace_window = 0;
   const PathTable* current = nullptr;
   const Range* ring = nullptr;  ///< retired tables, newest first
@@ -86,6 +95,11 @@ struct EpochTables {
 /// Epoch-aware Algorithm 3: selects the table by the report's epoch
 /// stamp (ring lookup, then the grace-window rule — a stale report may
 /// still pass against the current table but never fail, see server.hpp).
+/// Reports stamped AHEAD of table_valid_to (the publisher lags the
+/// config — e.g. the A/B failsafe is serving the last-good snapshot)
+/// get the symmetric treatment: a pass against the current table is
+/// conclusive, a mismatch is kStaleEpoch — so a wedged publisher can
+/// degrade verification to "inconclusive", never to a false positive.
 /// With epoch_checking off it degenerates to plain `Verifier::check`
 /// against the current table. Pure read; safe to call concurrently from
 /// any number of threads over the same EpochTables.

@@ -65,7 +65,7 @@ TEST_P(ChaosSweep, NoFalsePositivesUnderTransportFaultsAndChurn) {
 
   IngestConfig icfg;
   icfg.capacity = 1 << 16;  // no shedding in this sweep; overload has its
-  icfg.high_watermark = 1 << 16;  // own test below
+  icfg.high_watermark = (1 << 16) - 1;  // own test below
   ReportIngest ingest(server, icfg);
 
   const auto flows = workload::ping_all(topo);

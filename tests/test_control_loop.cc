@@ -1,0 +1,322 @@
+// ControlLoop unit + property tests: config validation, hysteresis
+// (exact-threshold boundaries, no flapping inside a band), monotone
+// regime transitions, bounded slew, anti-windup recovery, and the
+// IngestGovernor observe → decide → actuate wiring.
+#include "veridp/control_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "controller/routing.hpp"
+#include "testutil.hpp"
+#include "veridp/server.hpp"
+
+namespace veridp {
+namespace {
+
+PressureSample sample(std::size_t depth, std::size_t cap,
+                      std::uint64_t received = 0, std::uint64_t shed = 0,
+                      std::uint64_t lost = 0) {
+  PressureSample s;
+  s.queue_depth = depth;
+  s.queue_capacity = cap;
+  s.received = received;
+  s.shed = shed;
+  s.lost_estimate = lost;
+  return s;
+}
+
+TEST(ControlLoopConfig, ValidationRejectsDegenerateConfigs) {
+  EXPECT_NO_THROW(ControlLoopConfig{}.validate());
+
+  ControlLoopConfig c;
+  c.setpoint = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = {};
+  c.soft_exit = c.soft_enter;  // inverted hysteresis: exit must be below
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = {};
+  c.hard_exit = c.hard_enter + 0.1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = {};
+  c.slew_limit = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = {};
+  c.max_sampling_factor = 0.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = {};
+  c.max_shed_modulus = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  EXPECT_THROW(ControlLoop{c}, std::invalid_argument)
+      << "the constructor validates too";
+}
+
+TEST(ControlLoop, HysteresisBoundariesAreExact) {
+  const ControlLoop loop;
+  const ControlLoopConfig& c = loop.config();
+
+  // Entering: exactly-at-threshold enters, one ulp below does not.
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kNormal, c.soft_enter),
+            AdmissionRegime::kSoft);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kNormal,
+                             std::nextafter(c.soft_enter, 0.0)),
+            AdmissionRegime::kNormal);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kNormal, c.hard_enter),
+            AdmissionRegime::kHard);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kSoft, c.hard_enter),
+            AdmissionRegime::kHard);
+
+  // Leaving: exactly-at-exit stays (exit requires strictly below).
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kSoft, c.soft_exit),
+            AdmissionRegime::kSoft);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kSoft,
+                             std::nextafter(c.soft_exit, 0.0)),
+            AdmissionRegime::kNormal);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kHard, c.hard_exit),
+            AdmissionRegime::kHard);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kHard,
+                             std::nextafter(c.hard_exit, 0.0)),
+            AdmissionRegime::kSoft);
+
+  // Inside the dead band (exit <= p < enter) the regime is sticky: both
+  // kNormal and kSoft are fixed points of the same pressure.
+  const double inside = (c.soft_exit + c.soft_enter) / 2.0;
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kNormal, inside),
+            AdmissionRegime::kNormal);
+  EXPECT_EQ(loop.next_regime(AdmissionRegime::kSoft, inside),
+            AdmissionRegime::kSoft);
+}
+
+TEST(ControlLoop, RegimeTransitionIsMonotoneInPressure) {
+  const ControlLoop loop;
+  std::mt19937 rng(0x5eed);
+  std::uniform_real_distribution<double> dist(0.0, 1.2);
+  for (AdmissionRegime cur : {AdmissionRegime::kNormal,
+                              AdmissionRegime::kSoft,
+                              AdmissionRegime::kHard}) {
+    for (int i = 0; i < 2000; ++i) {
+      double a = dist(rng), b = dist(rng);
+      if (a > b) std::swap(a, b);
+      EXPECT_LE(static_cast<int>(loop.next_regime(cur, a)),
+                static_cast<int>(loop.next_regime(cur, b)))
+          << "regime(" << to_string(cur) << ", " << a << ") > regime(.., "
+          << b << ")";
+    }
+  }
+}
+
+TEST(ControlLoop, SeededNoiseInsideTheBandNeverFlapsTheRegime) {
+  // Regression for the hysteresis requirement: pressure oscillating
+  // between the exit and enter thresholds must cause at most ONE
+  // transition (the initial entry), not one per oscillation.
+  ControlLoopConfig cfg;
+  cfg.ewma_alpha = 1.0;  // pass pressure through unsmoothed: worst case
+  ControlLoop loop(cfg);
+  std::mt19937 rng(0xf1a9);
+  // Utilization noise in [soft_exit, soft_enter): the dead band.
+  std::uniform_real_distribution<double> util(cfg.soft_exit,
+                                              cfg.soft_enter - 0.01);
+  const std::size_t cap = 1000;
+  for (int t = 0; t < 500; ++t) {
+    loop.tick(sample(static_cast<std::size_t>(util(rng) * cap), cap));
+  }
+  EXPECT_EQ(loop.transitions(), 0u)
+      << "noise strictly inside the dead band must not move the regime";
+
+  // Push over soft_enter once, then resume the same in-band noise: one
+  // entry transition and nothing more.
+  loop.tick(sample(static_cast<std::size_t>(cfg.soft_enter * cap) + 10, cap));
+  ASSERT_EQ(loop.regime(), AdmissionRegime::kSoft);
+  const std::uint64_t after_entry = loop.transitions();
+  EXPECT_EQ(after_entry, 1u);
+  for (int t = 0; t < 500; ++t) {
+    loop.tick(sample(static_cast<std::size_t>(util(rng) * cap), cap));
+  }
+  EXPECT_EQ(loop.transitions(), after_entry)
+      << "re-entering the dead band from above must not flap back";
+}
+
+TEST(ControlLoop, ExitRequiresDroppingBelowTheExitThreshold) {
+  ControlLoopConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  ControlLoop loop(cfg);
+  const std::size_t cap = 1000;
+  loop.tick(sample(static_cast<std::size_t>(cfg.soft_enter * cap) + 1, cap));
+  ASSERT_EQ(loop.regime(), AdmissionRegime::kSoft);
+  // One tick above exit: still soft (watermark boundary, not below it).
+  loop.tick(sample(static_cast<std::size_t>(cfg.soft_exit * cap) + 1, cap));
+  EXPECT_EQ(loop.regime(), AdmissionRegime::kSoft);
+  // Strictly below exit: back to normal.
+  loop.tick(sample(0, cap));
+  EXPECT_EQ(loop.regime(), AdmissionRegime::kNormal);
+  EXPECT_EQ(loop.transitions(), 2u);
+}
+
+TEST(ControlLoop, SamplingFactorSlewIsBounded) {
+  ControlLoopConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  ControlLoop loop(cfg);
+  const std::size_t cap = 100;
+  double prev = loop.sampling_factor();
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  // Alternate full-queue and empty-queue ticks: the commanded factor may
+  // move, but never by more than 2^slew_limit per tick.
+  for (int t = 0; t < 100; ++t) {
+    const ControlDecision d = loop.tick(sample(t % 2 ? cap : 0, cap));
+    const double ratio = d.sampling_factor / prev;
+    EXPECT_LE(ratio, std::exp2(cfg.slew_limit) + 1e-9);
+    EXPECT_GE(ratio, std::exp2(-cfg.slew_limit) - 1e-9);
+    EXPECT_GE(d.sampling_factor, 1.0 - 1e-9);
+    EXPECT_LE(d.sampling_factor, cfg.max_sampling_factor + 1e-9);
+    prev = d.sampling_factor;
+  }
+}
+
+TEST(ControlLoop, AntiWindupRecoversPromptlyAfterSustainedSaturation) {
+  ControlLoopConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  ControlLoop loop(cfg);
+  const std::size_t cap = 100;
+  // Sustained overload: the actuator rails at max_sampling_factor.
+  for (int t = 0; t < 200; ++t) loop.tick(sample(cap, cap));
+  EXPECT_NEAR(loop.sampling_factor(), cfg.max_sampling_factor, 1e-6);
+  // Pressure collapses. With conditional integration the accumulator
+  // never wound past what saturation could use, so the factor must be
+  // back at 1.0 within the slew-limited minimum plus a small margin.
+  const double decades = std::log2(cfg.max_sampling_factor);
+  const int min_ticks = static_cast<int>(std::ceil(decades / cfg.slew_limit));
+  int t = 0;
+  for (; t < 10 * min_ticks; ++t) {
+    loop.tick(sample(0, cap));
+    if (loop.sampling_factor() <= 1.0 + 1e-6) break;
+  }
+  EXPECT_LE(t, 3 * min_ticks)
+      << "windup: the integrator kept the factor pinned after pressure fell";
+}
+
+TEST(ControlLoop, ControllerConvergesOnAFakeQueueModel) {
+  // Discrete plant: arrivals/tick scale inversely with the commanded
+  // sampling factor; the server drains a fixed budget per tick. The
+  // closed loop must settle the queue near the setpoint utilization
+  // instead of oscillating between empty and full.
+  ControlLoop loop;
+  const std::size_t cap = 1024;
+  const double offered = 400.0;  // reports/tick at factor 1 — over budget
+  const double drain = 150.0;
+  double depth = 0.0;
+  std::uint64_t received = 0;
+  double factor = 1.0;
+  for (int t = 0; t < 300; ++t) {
+    const double arrivals = offered / factor;
+    received += static_cast<std::uint64_t>(arrivals);
+    depth = std::min(static_cast<double>(cap),
+                     std::max(0.0, depth + arrivals - drain));
+    const ControlDecision d =
+        loop.tick(sample(static_cast<std::size_t>(depth), cap, received));
+    factor = d.sampling_factor;
+  }
+  EXPECT_GT(factor, 1.0) << "an over-budget plant needs a back-off";
+  EXPECT_NEAR(loop.pressure(), loop.config().setpoint, 0.15)
+      << "closed loop should settle near the setpoint";
+  EXPECT_EQ(loop.regime(), AdmissionRegime::kNormal)
+      << "a converged loop does not need regime degradation";
+}
+
+TEST(ControlLoop, ShedModulusIsMonotoneAcrossTheSoftBand) {
+  ControlLoopConfig cfg;
+  cfg.ewma_alpha = 1.0;
+  ControlLoop loop(cfg);
+  const std::size_t cap = 1000;
+  // Enter soft, then ramp pressure: the commanded modulus never shrinks.
+  std::uint32_t prev_mod = 0;
+  for (double u = cfg.soft_enter; u < cfg.hard_enter; u += 0.02) {
+    const ControlDecision d =
+        loop.tick(sample(static_cast<std::size_t>(u * cap), cap));
+    if (d.regime != AdmissionRegime::kSoft) continue;
+    EXPECT_GE(d.shed_modulus, 2u);
+    EXPECT_GE(d.shed_modulus, prev_mod) << "modulus must ramp with pressure";
+    EXPECT_EQ(d.shed_modulus & (d.shed_modulus - 1), 0u) << "power of two";
+    prev_mod = d.shed_modulus;
+  }
+  EXPECT_GT(prev_mod, 0u) << "the sweep must have visited kSoft";
+}
+
+TEST(ControlLoop, TraceIsBoundedAndOrdered) {
+  ControlLoopConfig cfg;
+  cfg.trace_keep = 16;
+  ControlLoop loop(cfg);
+  for (int t = 0; t < 100; ++t) loop.tick(sample(0, 10));
+  EXPECT_EQ(loop.trace().size(), cfg.trace_keep);
+  EXPECT_EQ(loop.trace().back().tick, 99u);
+  EXPECT_EQ(loop.trace().front().tick, 100u - cfg.trace_keep);
+}
+
+TEST(IngestGovernor, ObserveDecideActuateWiring) {
+  Topology topo = linear(3);
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+
+  IngestConfig icfg;
+  icfg.capacity = 64;
+  icfg.high_watermark = 32;
+  ReportIngest ingest(server, icfg);
+
+  ControlLoopConfig ccfg;
+  ccfg.ewma_alpha = 1.0;
+  IngestGovernor governor(ingest, ccfg);
+  double commanded = 0.0;
+  int commands = 0;
+  governor.set_sampling_sink([&](double f) {
+    commanded = f;
+    ++commands;
+  });
+
+  // Idle ticks: normal regime, no sampling command (factor stays 1).
+  for (int t = 0; t < 3; ++t) governor.tick();
+  EXPECT_TRUE(ingest.governed());
+  EXPECT_EQ(ingest.regime(), AdmissionRegime::kNormal);
+  EXPECT_EQ(commands, 0) << "no change → no southbound command";
+
+  // Flood the queue without processing, then tick: pressure ≥ 1 must
+  // push the regime machine to kHard and command a back-off.
+  const auto r = net.inject(
+      testutil::header(Ipv4::of(10, 0, 0, 1), Ipv4::of(10, 0, 2, 1)),
+      PortKey{0, 3});
+  ASSERT_EQ(r.reports.size(), 1u);
+  TagReport base = r.reports.front();
+  for (std::uint32_t s = 2; s < 200; ++s) {
+    TagReport rep = base;
+    rep.seq = s;
+    ingest.offer_report(rep);
+  }
+  ASSERT_EQ(ingest.queue_depth(), icfg.capacity);
+  const ControlDecision d = governor.tick();
+  EXPECT_EQ(d.regime, AdmissionRegime::kHard);
+  EXPECT_EQ(ingest.regime(), AdmissionRegime::kHard);
+  EXPECT_GT(commands, 0);
+  EXPECT_GT(commanded, 1.0);
+  EXPECT_EQ(ingest.health().regime_transitions, 1u);
+
+  // Drain and relax: hysteresis walks the regime back to normal.
+  ingest.process();
+  for (int t = 0; t < 50; ++t) governor.tick();
+  EXPECT_EQ(ingest.regime(), AdmissionRegime::kNormal);
+  EXPECT_EQ(ingest.health().regime_transitions, 2u)
+      << "normal → hard → normal, each edge counted exactly once";
+}
+
+}  // namespace
+}  // namespace veridp

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "controller/routing.hpp"
 #include "dataplane/wire.hpp"
 #include "testutil.hpp"
@@ -180,6 +182,152 @@ TEST(Ingest, BackoffGivesUpAfterMaxRetries) {
   EXPECT_EQ(h.backoff_signals, 1u + cfg.backoff_max_retries);
   EXPECT_EQ(h.backoff_acked, 0u);
   EXPECT_LE(ingest.queue_depth(), cfg.capacity);
+}
+
+TEST(Ingest, ConfigValidationRejectsDegenerateConfigs) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 0;
+  EXPECT_THROW(ReportIngest(rig.server, cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.high_watermark = cfg.capacity;  // shedding could never engage
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.high_watermark = cfg.capacity + 1;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = {};
+  cfg.shed_modulus = 0;  // seq % 0 is UB
+  EXPECT_THROW(ReportIngest(rig.server, cfg), std::invalid_argument);
+
+  cfg = {};
+  cfg.backoff_factor = 0.5;  // a "back-off" that speeds switches up
+  EXPECT_THROW(ReportIngest(rig.server, cfg), std::invalid_argument);
+
+  EXPECT_NO_THROW(IngestConfig{}.validate());
+}
+
+TEST(Ingest, ConservationHoldsMidFlightNotOnlyAfterDrain) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 16;
+  cfg.high_watermark = 8;
+  ReportIngest ingest(rig.server, cfg);
+  const TagReport base = rig.one_report();
+  for (std::uint32_t s = 2; s <= 100; ++s) {
+    TagReport r = base;
+    r.seq = s;
+    ingest.offer_report(r);
+    const IngestHealth h = ingest.health();
+    ASSERT_TRUE(h.conserved())
+        << "after offer #" << s << ": accounted=" << h.accounted()
+        << " in_queue=" << h.in_queue << " received=" << h.received;
+    if (s % 7 == 0) {
+      ingest.process(3);  // partial drains between offers
+      ASSERT_TRUE(ingest.health().conserved());
+    }
+  }
+  ingest.process();
+  const IngestHealth h = ingest.health();
+  EXPECT_EQ(h.in_queue, 0u);
+  EXPECT_TRUE(h.conserved());
+}
+
+TEST(Ingest, WatermarkBoundaryExactlyAtAndOneAbove) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 16;
+  cfg.high_watermark = 4;
+  cfg.shed_modulus = 1000;  // shed everything once the watermark engages
+  ReportIngest ingest(rig.server, cfg);
+  const TagReport base = rig.one_report();
+  auto offer_seq = [&](std::uint32_t s) {
+    TagReport r = base;
+    r.seq = s;
+    return ingest.offer_report(r);
+  };
+  // Depths 0..3 admit freely; shedding() stays off below the watermark.
+  for (std::uint32_t s = 2; s <= 5; ++s) {
+    EXPECT_FALSE(ingest.shedding()) << "depth " << ingest.queue_depth();
+    EXPECT_TRUE(offer_seq(s));
+  }
+  // Exactly AT the watermark: shedding engages for the next offer.
+  ASSERT_EQ(ingest.queue_depth(), cfg.high_watermark);
+  EXPECT_TRUE(ingest.shedding());
+  EXPECT_FALSE(offer_seq(6)) << "seq 6 % 1000 != 0 is shed at the mark";
+  EXPECT_FALSE(offer_seq(7));
+  EXPECT_EQ(ingest.queue_depth(), cfg.high_watermark);
+  // The deterministic keeper still gets through one above the mark.
+  EXPECT_TRUE(offer_seq(1000));
+  EXPECT_EQ(ingest.queue_depth(), cfg.high_watermark + 1);
+  // Draining below the watermark disengages shedding (legacy policy has
+  // no hysteresis — the governed regime machine is what adds it).
+  ingest.process(2);
+  EXPECT_FALSE(ingest.shedding());
+  EXPECT_TRUE(offer_seq(8));
+  EXPECT_TRUE(ingest.health().conserved());
+}
+
+TEST(Ingest, GovernedRegimesApplyTheirDeclaredPolicies) {
+  Rig rig;
+  IngestConfig cfg;
+  cfg.capacity = 32;
+  cfg.high_watermark = 4;  // would shed ungoverned; governed ignores it
+  ReportIngest ingest(rig.server, cfg);
+  std::uint64_t backoffs = 0;
+  ingest.set_backoff_sink([&](double) {
+    ++backoffs;
+    return true;
+  });
+  const TagReport base = rig.one_report();
+  auto offer_seq = [&](std::uint32_t s) {
+    TagReport r = base;
+    r.seq = s;
+    return ingest.offer_report(r);
+  };
+
+  // kNormal / kVerifyAll: everything up to capacity is admitted — the
+  // legacy watermark no longer sheds, and the one-shot back-off stays
+  // quiet (the control loop owns the sampling actuator now).
+  ingest.govern(AdmissionRegime::kNormal, 1);
+  for (std::uint32_t s = 2; s < 12; ++s) EXPECT_TRUE(offer_seq(s));
+  EXPECT_EQ(ingest.health().shed, 0u);
+  EXPECT_EQ(backoffs, 0u);
+  EXPECT_FALSE(ingest.shedding());
+
+  // kSoft / kDeterministicSample: only seq % modulus == 0 survives.
+  ingest.govern(AdmissionRegime::kSoft, 4);
+  EXPECT_TRUE(ingest.shedding());
+  EXPECT_TRUE(offer_seq(16));
+  EXPECT_FALSE(offer_seq(17));
+  EXPECT_FALSE(offer_seq(18));
+  EXPECT_TRUE(offer_seq(20));
+
+  // kHard / kQuarantineOnly: nothing reaches the queue, but dedup and
+  // the books keep running.
+  const std::size_t depth_before_hard = ingest.queue_depth();
+  ingest.govern(AdmissionRegime::kHard, 64);
+  EXPECT_FALSE(offer_seq(24)) << "well-formed reports are shed in kHard";
+  EXPECT_FALSE(offer_seq(64));
+  EXPECT_EQ(ingest.queue_depth(), depth_before_hard);
+  EXPECT_FALSE(offer_seq(24)) << "duplicate of a shed report";
+  IngestHealth h = ingest.health();
+  EXPECT_EQ(h.deduped, 1u) << "dedup still decides before the regime";
+
+  // Edge-triggered transition accounting: the initial govern(kNormal)
+  // matched the starting regime (no edge), then soft and hard each
+  // counted once; re-applying a regime is free.
+  EXPECT_EQ(h.regime_transitions, 2u);
+  ingest.govern(AdmissionRegime::kHard, 64);
+  ingest.govern(AdmissionRegime::kHard, 32);  // modulus-only update
+  EXPECT_EQ(ingest.health().regime_transitions, 2u);
+  EXPECT_EQ(ingest.regime(), AdmissionRegime::kHard);
+
+  ingest.process();
+  h = ingest.health();
+  EXPECT_TRUE(h.conserved());
+  EXPECT_EQ(h.failed, 0u);
+  EXPECT_EQ(backoffs, 0u) << "governed ingest never fires the legacy signal";
 }
 
 TEST(Ingest, FailuresAreKeptForLocalization) {

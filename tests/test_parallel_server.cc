@@ -233,7 +233,7 @@ TEST(ParallelServer, ChaosStreamProducersWorkersMatchSequentialOracle) {
 
   IngestConfig icfg;
   icfg.capacity = 1 << 16;
-  icfg.high_watermark = 1 << 16;
+  icfg.high_watermark = (1 << 16) - 1;
   icfg.dedup_window = 1 << 16;
   icfg.failure_keep = 1 << 16;
   ReportIngest oracle_ingest(oracle_server, icfg);
@@ -538,6 +538,142 @@ TEST(ParallelServer, MismatchesFeedSingleConsumerLocalizationStage) {
   EXPECT_EQ(par.candidates.size(), seq.candidates.size());
   // Drained: a second take returns nothing.
   EXPECT_TRUE(parallel.take_failures().empty());
+}
+
+// A/B epoch-flip failsafe: a wedged snapshot publisher must degrade
+// verification to "inconclusive" (kStaleEpoch), never to a false
+// positive, and the watchdog must fire within one heartbeat deadline.
+TEST(ParallelServer, WedgedPublisherFailsOverWithoutFalsePositives) {
+  Rig rig(fat_tree(4));
+  ParallelConfig cfg;
+  cfg.workers = 2;
+  ParallelServer parallel(rig.controller, cfg);
+  parallel.enable_epoch_checking();
+  rig.install_and_deploy();
+  parallel.sync();
+
+  std::atomic<bool> wedged{false};
+  parallel.set_publish_fault([&] { return wedged.load(); });
+
+  // Healthy heartbeat path first: churn → one heartbeat publishes.
+  const auto& subnets = rig.topo.subnets();
+  ASSERT_GE(subnets.size(), 4u);
+  auto churn = [&](std::size_t i, int prio) {
+    const auto& [dst_port, subnet] = subnets[i];
+    rig.controller.add_rule(dst_port.sw, prio, Match::dst_prefix(subnet),
+                            Action::drop());
+    rig.controller.deploy(rig.net);
+    rig.net.set_config_epoch(rig.controller.epoch());
+  };
+  churn(0, 8000);
+  const std::uint64_t flips_before = parallel.health().snapshot_flips;
+  EXPECT_FALSE(parallel.heartbeat(/*deadline_ticks=*/2));
+  EXPECT_EQ(parallel.health().snapshot_flips, flips_before + 1);
+  EXPECT_FALSE(parallel.in_failsafe());
+
+  // Wedge the publisher, then churn again: reports sampled under the
+  // new epoch are ahead of everything the served snapshot covers.
+  wedged.store(true);
+  churn(1, 8001);
+  const std::vector<TagReport> ahead = rig.collect_reports(/*t=*/1.0);
+  ASSERT_FALSE(ahead.empty());
+
+  // The watchdog fires within the deadline: tick 1 misses, tick 2 trips.
+  EXPECT_FALSE(parallel.heartbeat(2));
+  EXPECT_EQ(parallel.failsafe_events(), 0u);
+  EXPECT_TRUE(parallel.heartbeat(2)) << "deadline reached: failsafe";
+  EXPECT_TRUE(parallel.in_failsafe());
+  EXPECT_EQ(parallel.failsafe_events(), 1u);
+  EXPECT_TRUE(parallel.heartbeat(2)) << "still wedged";
+  EXPECT_EQ(parallel.failsafe_events(), 1u) << "edge-triggered, not per tick";
+
+  // Served snapshot is the last-good slot; ahead-of-table reports from a
+  // CONSISTENT plane must all pass or go stale — zero false positives.
+  const ParallelServer::StreamTotals t = parallel.verify_stream(ahead, 2);
+  EXPECT_EQ(t.failed, 0u)
+      << "a wedged publisher must never manufacture a data-plane fault";
+  EXPECT_EQ(t.verified, ahead.size());
+
+  // Recovery: the wedge clears, the next heartbeat publishes and the
+  // failsafe lifts; the same reports now verify conclusively.
+  wedged.store(false);
+  EXPECT_FALSE(parallel.heartbeat(2));
+  EXPECT_FALSE(parallel.in_failsafe());
+  const ParallelServer::StreamTotals r = parallel.verify_stream(ahead, 2);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.stale, 0u) << "recovered: nothing is inconclusive anymore";
+  EXPECT_EQ(r.passed, ahead.size());
+}
+
+// Commanded admission regimes on the parallel ingest: kHard admits
+// nothing, kSoft keeps the deterministic sample, kNormal restores
+// verify-all — with the conservation law holding at quiescence and the
+// transition counter edge-triggered. Concurrent submitters exercise the
+// relaxed-atomic command reads under TSan.
+TEST(ParallelServer, GovernedRegimesOnTheParallelIngest) {
+  Rig rig(linear(4));
+  ParallelConfig cfg;
+  cfg.workers = 2;
+  cfg.shards = 4;
+  ParallelServer parallel(rig.controller, cfg);
+  rig.install_and_deploy();
+  parallel.sync();
+
+  const std::vector<TagReport> base = rig.collect_reports();
+  ASSERT_FALSE(base.empty());
+  auto stamped = [&](std::uint32_t lo) {
+    std::vector<TagReport> out = base;
+    std::uint32_t s = lo;
+    for (TagReport& r : out) r.seq = s++;
+    return out;
+  };
+
+  parallel.start();
+
+  // kHard: every submit is refused and counted shed.
+  parallel.govern(AdmissionRegime::kHard, 64);
+  for (const TagReport& r : stamped(1000)) EXPECT_FALSE(parallel.submit(r));
+  parallel.drain();
+  ParallelHealth h = parallel.health();
+  EXPECT_EQ(h.verified, 0u);
+  EXPECT_EQ(h.shed, base.size());
+  EXPECT_EQ(h.regime, AdmissionRegime::kHard);
+  EXPECT_TRUE(h.conserved());
+
+  // kSoft with modulus 4 from two concurrent producers: exactly the
+  // seq % 4 == 0 subset of each producer's disjoint seq range survives.
+  parallel.govern(AdmissionRegime::kSoft, 4);
+  const std::vector<TagReport> a = stamped(2000);
+  const std::vector<TagReport> b = stamped(3000);
+  std::thread pa([&] {
+    for (const TagReport& r : a) parallel.submit(r);
+  });
+  std::thread pb([&] {
+    for (const TagReport& r : b) parallel.submit(r);
+  });
+  pa.join();
+  pb.join();
+  parallel.drain();
+  h = parallel.health();
+  const auto kept = static_cast<std::uint64_t>((a.size() + 3) / 4 +
+                                               (b.size() + 3) / 4);
+  EXPECT_EQ(h.verified, kept) << "deterministic sample, whatever the "
+                                 "submit interleaving";
+  EXPECT_TRUE(h.conserved());
+
+  // kNormal: verify-all resumes; transitions counted once per edge.
+  parallel.govern(AdmissionRegime::kNormal, 1);
+  parallel.govern(AdmissionRegime::kNormal, 1);
+  for (const TagReport& r : stamped(4000)) EXPECT_TRUE(parallel.submit(r));
+  parallel.drain();
+  parallel.stop();
+  h = parallel.health();
+  EXPECT_EQ(h.verified, kept + base.size());
+  EXPECT_EQ(h.failed, 0u);
+  EXPECT_EQ(h.regime, AdmissionRegime::kNormal);
+  EXPECT_EQ(h.regime_transitions, 3u) << "hard, soft, normal — one each";
+  EXPECT_TRUE(h.conserved());
+  EXPECT_EQ(h.in_queue, 0u);
 }
 
 }  // namespace

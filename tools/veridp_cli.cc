@@ -15,6 +15,12 @@
 //                                              the sequential stack AND the
 //                                              multi-threaded server; verdicts
 //                                              must match exactly
+//   veridp_cli control <name> [--ticks N] [--loss P] [--dup P] [--reorder P]
+//                     [--corrupt P] [--seed S] [--wedge] [--json FILE]
+//                                              drive a pressure ramp through
+//                                              the closed control loop; print
+//                                              the per-tick decision trace and
+//                                              the regime transition summary
 //
 // <name> ∈ {linear, fat4, fat6, stanford, internet2, toy}
 // KIND   ∈ {drop-rule, blackhole, rewire, external, priority}
@@ -32,6 +38,7 @@
 #include "dataplane/fault.hpp"
 #include "topo/generators.hpp"
 #include "veridp/channel.hpp"
+#include "veridp/control_loop.hpp"
 #include "veridp/ingest.hpp"
 #include "veridp/parallel_server.hpp"
 #include "veridp/repair.hpp"
@@ -54,6 +61,9 @@ int usage() {
                "  veridp_cli parallel <name> [--workers N] [--producers P]\n"
                "             [--rounds N] [--loss P] [--dup P] [--reorder P]\n"
                "             [--corrupt P] [--seed S] [--fault KIND]\n"
+               "  veridp_cli control <name> [--ticks N] [--loss P] [--dup P]\n"
+               "             [--reorder P] [--corrupt P] [--seed S] [--wedge]\n"
+               "             [--json FILE]\n"
                "names:  linear fat4 fat6 stanford internet2 toy\n"
                "faults: drop-rule blackhole rewire external priority\n");
   return 2;
@@ -423,7 +433,7 @@ int cmd_parallel(Topology topo, const ChannelConfig& ccfg, int rounds,
   // Sequential reference.
   IngestConfig icfg;
   icfg.capacity = 1u << 16;
-  icfg.high_watermark = 1u << 16;
+  icfg.high_watermark = (1u << 16) - 1;
   icfg.dedup_window = 1u << 16;
   icfg.failure_keep = 1u << 16;
   ReportIngest ingest(oracle, icfg);
@@ -471,6 +481,166 @@ int cmd_parallel(Topology topo, const ChannelConfig& ccfg, int rounds,
   std::printf("conservation: %s\n", conserved ? "ok" : "VIOLATED");
   std::printf("oracle match: %s\n", match ? "ok" : "MISMATCH");
   return (match && conserved) ? 0 : 1;
+}
+
+// Pressure-ramp scenario for the closed control loop: nominal warm-up,
+// a flood plateau (many injection copies per tick against a starved
+// drain budget, optionally with the snapshot publisher wedged for a
+// window), then cooldown to idle. Every tick prints the controller's
+// decision; the exit status asserts the operational invariants the
+// chaos harness checks in-process (conservation, zero false positives,
+// regime returns to normal, failsafe edge-triggered once per wedge).
+int cmd_control(Topology topo, const ChannelConfig& ccfg, int ticks,
+                std::uint64_t seed, bool wedge_window,
+                const char* json_path) {
+  Controller c(topo);
+  Server server(c, Server::Mode::kFullRebuild);
+  server.enable_epoch_checking();
+  routing::install_shortest_paths(c);
+  server.sync();
+  Network net(topo);
+  c.deploy(net);
+  net.set_config_epoch(c.epoch());
+
+  bool wedged = false;
+  server.set_publish_fault([&wedged] { return wedged; });
+
+  ReportChannel channel(ccfg);
+  IngestConfig icfg;
+  icfg.capacity = 256;
+  icfg.high_watermark = 128;
+  ReportIngest ingest(server, icfg);
+  IngestGovernor governor(ingest);
+  governor.set_sampling_sink(
+      [&net](double factor) { net.command_sampling(factor); });
+
+  // Ramp profile over `ticks`: quarter nominal, half flood, quarter
+  // cooldown. The wedge window covers the middle of the flood.
+  const int t_flood = ticks / 4;
+  const int t_cool = ticks - ticks / 4;
+  const int t_wedge_on = t_flood + (t_cool - t_flood) / 4;
+  const int t_wedge_off = t_flood + 3 * (t_cool - t_flood) / 4;
+
+  const auto flows = workload::ping_all(topo);
+  const auto& subnets = topo.subnets();
+  std::size_t churned = 0;
+  double max_factor = 1.0;
+  bool conserved = true;
+
+  std::printf("%5s %9s %7s %8s %8s %7s %6s %6s %s\n", "tick", "pressure",
+              "regime", "factor", "modulus", "queue", "shed", "flip",
+              "failsafe");
+  for (int t = 0; t < ticks; ++t) {
+    const bool flood = t >= t_flood && t < t_cool;
+    if (wedge_window) {
+      if (t == t_wedge_on) wedged = true;
+      if (t == t_wedge_off) wedged = false;
+    }
+    if (flood && t % 3 == 0 && !subnets.empty()) {
+      // Config churn mid-flood: controller-deployed blackholes, so a
+      // consistent plane — any verification failure is a false positive.
+      const auto& [dst_port, subnet] = subnets[churned % subnets.size()];
+      c.add_rule(dst_port.sw, 100000 + static_cast<std::int32_t>(churned),
+                 Match::dst_prefix(subnet), Action::drop());
+      ++churned;
+      c.deploy(net);
+      net.set_config_epoch(c.epoch());
+    }
+    const int copies = flood ? 6 : (t < t_flood ? 1 : 0);
+    for (int k = 0; k < copies; ++k)
+      for (const auto& f : flows) {
+        const auto r = net.inject(f.header, f.entry, t + 0.001 * k);
+        for (const TagReport& rep : r.reports) channel.send(rep);
+      }
+    while (auto d = channel.deliver()) {
+      ingest.offer(*d);
+      conserved = conserved && ingest.health().conserved();
+    }
+    ingest.process(flood ? 24 : SIZE_MAX);
+    const ControlDecision dec = governor.tick(server.in_failsafe());
+    conserved = conserved && ingest.health().conserved();
+    max_factor = std::max(max_factor, dec.sampling_factor);
+    std::printf("%5llu %9.3f %7s %8.2f %8u %7llu %6llu %6s %s\n",
+                static_cast<unsigned long long>(dec.tick), dec.pressure,
+                to_string(dec.regime), dec.sampling_factor, dec.shed_modulus,
+                static_cast<unsigned long long>(ingest.health().in_queue),
+                static_cast<unsigned long long>(ingest.health().shed),
+                dec.regime_changed ? "<--" : "", dec.failsafe ? "WEDGED" : "");
+  }
+  channel.flush();
+  while (auto d = channel.deliver()) ingest.offer(*d);
+  ingest.process();
+  governor.tick(server.in_failsafe());
+
+  const IngestHealth h = ingest.health();
+  const ChannelStats& cs = channel.stats();
+  const ControlLoop& loop = governor.loop();
+  std::printf("channel: sent %llu delivered %llu dropped %llu corrupt %llu\n",
+              static_cast<unsigned long long>(cs.sent),
+              static_cast<unsigned long long>(cs.delivered),
+              static_cast<unsigned long long>(cs.dropped),
+              static_cast<unsigned long long>(cs.corrupted));
+  std::printf("ingest:  received %llu passed %llu failed %llu stale %llu "
+              "shed %llu quarantined %llu deduped %llu\n",
+              static_cast<unsigned long long>(h.received),
+              static_cast<unsigned long long>(h.passed),
+              static_cast<unsigned long long>(h.failed),
+              static_cast<unsigned long long>(h.stale),
+              static_cast<unsigned long long>(h.shed),
+              static_cast<unsigned long long>(h.quarantined),
+              static_cast<unsigned long long>(h.deduped));
+  std::printf("control: ticks %llu transitions %llu max factor %.2f "
+              "final regime %s\n",
+              static_cast<unsigned long long>(loop.ticks()),
+              static_cast<unsigned long long>(loop.transitions()), max_factor,
+              to_string(loop.regime()));
+  std::printf("failsafe: events %llu active %s\n",
+              static_cast<unsigned long long>(server.failsafe_events()),
+              server.in_failsafe() ? "yes" : "no");
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"seed\": %llu,\n  \"trace\": [\n",
+                 static_cast<unsigned long long>(seed));
+    const auto& trace = loop.trace();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const ControlDecision& d = trace[i];
+      std::fprintf(out,
+                   "    {\"tick\": %llu, \"pressure\": %.6f, "
+                   "\"sampling_factor\": %.6f, \"shed_modulus\": %u, "
+                   "\"regime\": \"%s\", \"regime_changed\": %s, "
+                   "\"failsafe\": %s}%s\n",
+                   static_cast<unsigned long long>(d.tick), d.pressure,
+                   d.sampling_factor, d.shed_modulus, to_string(d.regime),
+                   d.regime_changed ? "true" : "false",
+                   d.failsafe ? "true" : "false",
+                   i + 1 < trace.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"transitions\": %llu,\n  \"failsafe_events\": "
+                 "%llu,\n  \"conserved\": %s\n}\n",
+                 static_cast<unsigned long long>(loop.transitions()),
+                 static_cast<unsigned long long>(server.failsafe_events()),
+                 conserved && h.conserved() ? "true" : "false");
+    std::fclose(out);
+    std::printf("trace written to %s\n", json_path);
+  }
+
+  conserved = conserved && h.conserved() && h.in_queue == 0;
+  const bool no_false_positives = h.failed == 0;
+  const bool settled = loop.regime() == AdmissionRegime::kNormal;
+  const bool failsafe_ok =
+      !wedge_window ||
+      (server.failsafe_events() == 1 && !server.in_failsafe());
+  std::printf("conservation: %s\n", conserved ? "ok" : "VIOLATED");
+  if (!no_false_positives) std::printf("FALSE POSITIVES under ramp\n");
+  if (!settled) std::printf("regime did not settle back to normal\n");
+  if (!failsafe_ok) std::printf("failsafe invariant violated\n");
+  return (conserved && no_false_positives && settled && failsafe_ok) ? 0 : 1;
 }
 
 }  // namespace
@@ -536,6 +706,25 @@ int main(int argc, char** argv) {
         workers ? static_cast<unsigned>(std::atoi(workers)) : 4,
         producers ? static_cast<unsigned>(std::atoi(producers)) : 4, s,
         flag_value(argc, argv, "--fault"));
+  }
+  if (cmd == "control") {
+    ChannelConfig ccfg;
+    auto rate = [&](const char* flag, double* out) {
+      if (const char* v = flag_value(argc, argv, flag)) *out = std::atof(v);
+    };
+    rate("--loss", &ccfg.drop_rate);
+    rate("--dup", &ccfg.dup_rate);
+    rate("--reorder", &ccfg.reorder_rate);
+    rate("--corrupt", &ccfg.corrupt_rate);
+    const char* seed = flag_value(argc, argv, "--seed");
+    const std::uint64_t s =
+        seed ? static_cast<std::uint64_t>(std::atoll(seed)) : 7;
+    ccfg.seed = s;
+    const char* ticks = flag_value(argc, argv, "--ticks");
+    return cmd_control(std::move(*topo), ccfg,
+                       ticks ? std::atoi(ticks) : 24, s,
+                       has_flag(argc, argv, "--wedge"),
+                       flag_value(argc, argv, "--json"));
   }
   return usage();
 }
