@@ -6,6 +6,7 @@
 // P^in_x / P^out_y term of the transfer predicates.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "flow/match.hpp"
@@ -35,6 +36,15 @@ class Acl {
   /// Removes the i-th entry (used by fault injection: "delete an ACL rule").
   void remove_entry(std::size_t i) {
     entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  /// Swaps entries i and j (fault injection: a switch that reorders its
+  /// first-match ACL — semantics change whenever the entries overlap).
+  /// Returns false if either index is out of range.
+  bool swap_entries(std::size_t i, std::size_t j) {
+    if (i >= entries_.size() || j >= entries_.size()) return false;
+    std::swap(entries_[i], entries_[j]);
+    return true;
   }
 
   /// First-match evaluation against a concrete header.

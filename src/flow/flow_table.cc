@@ -32,6 +32,20 @@ bool FlowTable::set_action(RuleId id, Action a) {
   return true;
 }
 
+bool FlowTable::set_priority(RuleId id, std::int32_t priority) {
+  auto it = std::find_if(rules_.begin(), rules_.end(),
+                         [id](const FlowRule& r) { return r.id == id; });
+  if (it == rules_.end()) return false;
+  FlowRule moved = *it;
+  moved.priority = priority;
+  rules_.erase(it);
+  auto pos = std::upper_bound(
+      rules_.begin(), rules_.end(), moved.priority,
+      [](std::int32_t prio, const FlowRule& r) { return prio > r.priority; });
+  rules_.insert(pos, moved);  // order_ untouched: insertion order persists
+  return true;
+}
+
 const FlowRule* FlowTable::lookup(const PacketHeader& h,
                                   PortId in_port) const {
   if (ignore_priority_) {

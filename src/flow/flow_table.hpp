@@ -26,6 +26,12 @@ class FlowTable {
   /// Replaces the action of rule `id`; returns false if absent.
   bool set_action(RuleId id, Action a);
 
+  /// Re-prioritizes rule `id` in place (the table re-sorts; insertion
+  /// order — and thus the ignore_priority lookup — is preserved). Models
+  /// a switch that mangles priorities on install; the fuzz layer's
+  /// priority-shuffle mutation is built on it. Returns false if absent.
+  bool set_priority(RuleId id, std::int32_t priority);
+
   /// Highest-priority rule matching `h` received on `in_port`, or
   /// nullptr for a table miss. With `ignore_priority(true)`, the *oldest
   /// inserted* matching rule is returned instead, regardless of priority.

@@ -1,0 +1,101 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace veridp {
+namespace fuzz {
+
+namespace {
+
+constexpr const char* kHeader = "veridp-fuzz-corpus v1";
+
+}  // namespace
+
+std::string serialize_entry(const CorpusEntry& entry) {
+  std::string out;
+  out += kHeader;
+  out += '\n';
+  out += "digest " + std::to_string(entry.digest) + "\n";
+  out += "---\n";
+  out += serialize(entry.schedule);
+  return out;
+}
+
+std::optional<CorpusEntry> parse_entry(const std::string& text,
+                                       const std::string& name) {
+  // Split off the three-line preamble, keep the rest verbatim.
+  std::size_t pos = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= text.size()) return std::nullopt;
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      std::string line = text.substr(pos);
+      pos = text.size();
+      return line;
+    }
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+
+  const auto header = next_line();
+  if (!header || *header != kHeader) return std::nullopt;
+  const auto digest_line = next_line();
+  if (!digest_line || digest_line->rfind("digest ", 0) != 0)
+    return std::nullopt;
+  const std::string digits = digest_line->substr(7);
+  std::uint64_t digest = 0;
+  const auto [ptr, ec] = std::from_chars(
+      digits.data(), digits.data() + digits.size(), digest);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size())
+    return std::nullopt;
+  const auto sep = next_line();
+  if (!sep || *sep != "---") return std::nullopt;
+
+  const auto schedule = parse_schedule(text.substr(pos));
+  if (!schedule) return std::nullopt;
+
+  CorpusEntry entry;
+  entry.name = name;
+  entry.schedule = *schedule;
+  entry.digest = digest;
+  return entry;
+}
+
+std::optional<CorpusEntry> load_entry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_entry(buf.str(), std::filesystem::path(path).stem().string());
+}
+
+bool save_entry(const std::string& dir, const CorpusEntry& entry) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (entry.name + ".fuzz");
+  std::ofstream out(path);
+  if (!out) return false;
+  out << serialize_entry(entry);
+  return static_cast<bool>(out);
+}
+
+std::vector<std::string> list_corpus(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return paths;
+  for (const auto& de : it) {
+    if (de.path().extension() == ".fuzz") paths.push_back(de.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace fuzz
+}  // namespace veridp

@@ -1,0 +1,53 @@
+// On-disk corpus of interesting fuzz schedules (DESIGN.md §10).
+//
+// Each entry is a small text file (one schedule per file, extension
+// `.fuzz`) carrying the expected campaign-trace digest, so replaying an
+// entry can detect *any* behavioural divergence — not just a changed
+// verdict:
+//
+//   veridp-fuzz-corpus v1
+//   digest <decimal fnv1a of the campaign trace>
+//   ---
+//   <schedule text, see fuzz/schedule.hpp>
+//
+// Entries under tests/fuzz_corpus/ are checked in; `veridp_cli fuzz
+// --replay <dir>` re-runs every entry and exits nonzero if any digest
+// no longer matches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/schedule.hpp"
+
+namespace veridp {
+namespace fuzz {
+
+struct CorpusEntry {
+  std::string name;  ///< file stem, e.g. "seed1_run03"
+  FuzzSchedule schedule;
+  std::uint64_t digest = 0;  ///< expected campaign-trace digest
+};
+
+/// Renders an entry in the corpus file format.
+[[nodiscard]] std::string serialize_entry(const CorpusEntry& entry);
+
+/// Parses the corpus file format; nullopt on any malformed line.
+[[nodiscard]] std::optional<CorpusEntry> parse_entry(
+    const std::string& text, const std::string& name);
+
+/// Reads one entry from `path` (name = file stem). Nullopt if the file
+/// is unreadable or malformed.
+[[nodiscard]] std::optional<CorpusEntry> load_entry(const std::string& path);
+
+/// Writes `entry` to `<dir>/<entry.name>.fuzz`. Returns false on I/O
+/// failure.
+bool save_entry(const std::string& dir, const CorpusEntry& entry);
+
+/// All `.fuzz` files under `dir`, sorted by path for determinism.
+/// Missing directory yields an empty list.
+[[nodiscard]] std::vector<std::string> list_corpus(const std::string& dir);
+
+}  // namespace fuzz
+}  // namespace veridp

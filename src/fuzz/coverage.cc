@@ -1,0 +1,46 @@
+#include "fuzz/coverage.hpp"
+
+#include <vector>
+
+namespace veridp {
+namespace fuzz {
+
+int CoverageMap::topo_index(const std::string& name) {
+  if (name == "linear") return 0;
+  if (name == "fat4") return 1;
+  if (name == "internet2") return 2;
+  return 3;
+}
+
+std::uint32_t CoverageMap::key(MutationClass cls, int topo, int verdict,
+                               int regime) {
+  return static_cast<std::uint32_t>(cls) |
+         (static_cast<std::uint32_t>(topo) << 8) |
+         (static_cast<std::uint32_t>(verdict) << 16) |
+         (static_cast<std::uint32_t>(regime) << 24);
+}
+
+std::size_t CoverageMap::add_run(const FuzzSchedule& s,
+                                 std::uint8_t verdict_bits,
+                                 std::uint8_t regime_bits) {
+  std::vector<MutationClass> classes;
+  for (const FuzzAction& a : s.actions) {
+    bool seen = false;
+    for (const MutationClass c : classes) seen = seen || c == a.cls;
+    if (!seen) classes.push_back(a.cls);
+  }
+  const int topo = topo_index(s.topo);
+  std::size_t fresh = 0;
+  for (const MutationClass c : classes)
+    for (int v = 0; v < 4; ++v) {
+      if (!(verdict_bits & (1u << v))) continue;
+      for (int r = 0; r < 3; ++r) {
+        if (!(regime_bits & (1u << r))) continue;
+        if (add(key(c, topo, v, r))) ++fresh;
+      }
+    }
+  return fresh;
+}
+
+}  // namespace fuzz
+}  // namespace veridp

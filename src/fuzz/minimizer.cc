@@ -1,0 +1,85 @@
+#include "fuzz/minimizer.hpp"
+
+#include <algorithm>
+
+namespace veridp {
+namespace fuzz {
+
+namespace {
+
+bool holds(const CampaignRunner& runner, const FuzzSchedule& s,
+           const FailurePredicate& pred, MinimizeStats* stats) {
+  if (stats) ++stats->evaluations;
+  return pred(runner.run(s));
+}
+
+void commit(const FuzzSchedule& s, MinimizeStats* stats) {
+  if (!stats) return;
+  ++stats->committed;
+  stats->steps.push_back(s);
+}
+
+}  // namespace
+
+FuzzSchedule minimize(const CampaignRunner& runner,
+                      const FuzzSchedule& schedule,
+                      const FailurePredicate& pred, MinimizeStats* stats) {
+  if (!holds(runner, schedule, pred, stats)) return schedule;
+
+  FuzzSchedule cur = schedule;
+
+  // ddmin over the action list.
+  std::size_t chunk = std::max<std::size_t>(cur.actions.size() / 2, 1);
+  while (cur.actions.size() > 1) {
+    bool shrunk = false;
+    for (std::size_t start = 0; start < cur.actions.size();) {
+      FuzzSchedule trial = cur;
+      const std::size_t take =
+          std::min(chunk, trial.actions.size() - start);
+      trial.actions.erase(
+          trial.actions.begin() + static_cast<std::ptrdiff_t>(start),
+          trial.actions.begin() + static_cast<std::ptrdiff_t>(start + take));
+      if (!trial.actions.empty() &&
+          holds(runner, trial, pred, stats)) {
+        cur = trial;
+        commit(cur, stats);
+        shrunk = true;
+        // retry the same offset: the next chunk slid into place
+      } else {
+        start += take;
+      }
+    }
+    if (chunk == 1 && !shrunk) break;
+    if (!shrunk) chunk = std::max<std::size_t>(chunk / 2, 1);
+  }
+
+  // Tighten the environment knobs (each step re-validated).
+  const int last_round =
+      cur.actions.empty()
+          ? 0
+          : std::max_element(cur.actions.begin(), cur.actions.end(),
+                             [](const FuzzAction& x, const FuzzAction& y) {
+                               return x.round < y.round;
+                             })
+                ->round;
+  if (cur.rounds > last_round + 2) {
+    FuzzSchedule trial = cur;
+    trial.rounds = last_round + 2;
+    if (holds(runner, trial, pred, stats)) {
+      cur = trial;
+      commit(cur, stats);
+    }
+  }
+  if (cur.copies > 1) {
+    FuzzSchedule trial = cur;
+    trial.copies = 1;
+    if (holds(runner, trial, pred, stats)) {
+      cur = trial;
+      commit(cur, stats);
+    }
+  }
+  return cur;
+}
+
+}  // namespace fuzz
+}  // namespace veridp

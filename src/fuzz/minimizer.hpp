@@ -1,0 +1,50 @@
+// Test-case minimizer: shrinks a failing multi-fault schedule to a
+// minimal reproducer (DESIGN.md §10).
+//
+// Delta-debugging over the action list: repeatedly try removing chunks
+// of actions (halving granularity down to single actions) and keep any
+// removal that preserves the caller's failure predicate — by
+// construction every *committed* intermediate schedule still fails,
+// which the minimizer tests assert by re-running each one. After the
+// action list is 1-minimal, the environment knobs are tightened (rounds
+// to just past the last action, copies to 1).
+//
+// Each predicate evaluation is one full deterministic campaign run, so
+// minimizing is O(runs); schedules are a handful of actions and runs are
+// sub-second, which keeps `veridp_cli fuzz --minimize` interactive.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "fuzz/campaign.hpp"
+#include "fuzz/schedule.hpp"
+
+namespace veridp {
+namespace fuzz {
+
+/// The failure predicate: "does this run still exhibit the behaviour I
+/// am shrinking toward?" (default: a detected inconsistency).
+using FailurePredicate = std::function<bool(const RunResult&)>;
+
+[[nodiscard]] inline FailurePredicate detects_inconsistency() {
+  return [](const RunResult& r) { return r.detected; };
+}
+
+struct MinimizeStats {
+  int evaluations = 0;  ///< campaign runs performed
+  int committed = 0;    ///< shrink steps that preserved the predicate
+  /// Every committed intermediate, in order (the final schedule last).
+  std::vector<FuzzSchedule> steps;
+};
+
+/// Shrinks `schedule` while `pred` holds. If the initial run does not
+/// satisfy `pred`, returns `schedule` unchanged (nothing to shrink
+/// toward). The result's run is guaranteed to satisfy `pred`.
+[[nodiscard]] FuzzSchedule minimize(const CampaignRunner& runner,
+                                    const FuzzSchedule& schedule,
+                                    const FailurePredicate& pred,
+                                    MinimizeStats* stats = nullptr);
+
+}  // namespace fuzz
+}  // namespace veridp

@@ -9,6 +9,12 @@ namespace veridp {
 ReportChannel::ReportChannel(ChannelConfig cfg)
     : cfg_(cfg), rng_(cfg.seed) {}
 
+void ReportChannel::configure(const ChannelConfig& cfg) {
+  const std::uint64_t seed = cfg_.seed;  // the RNG stream is never reset
+  cfg_ = cfg;
+  cfg_.seed = seed;
+}
+
 void ReportChannel::record(FaultKind kind, SwitchId src, std::uint32_t seq) {
   if (history_.size() >= cfg_.history_limit) return;
   history_.push_back({kind, src, static_cast<RuleId>(seq), kDropPort});

@@ -60,6 +60,14 @@ class ReportChannel {
  public:
   explicit ReportChannel(ChannelConfig cfg = {});
 
+  /// Updates the fault rates / reorder window mid-stream, keeping the
+  /// RNG state (and thus determinism for a fixed seed + call sequence).
+  /// `cfg.seed` is ignored — the fuzz campaigns use this to switch
+  /// transport-fault classes on at a scheduled round without resetting
+  /// the stream. history_limit is adopted too; already-recorded entries
+  /// are kept.
+  void configure(const ChannelConfig& cfg);
+
   /// Encodes `r` (wire v2) and sends the datagram through the channel.
   void send(const TagReport& r);
 

@@ -147,6 +147,7 @@ std::size_t ReportIngest::process(std::size_t max) {
     const TagReport report = queue_.front();
     queue_.pop_front();
     const Verdict v = server_->verify(report);
+    if (verdict_sink_) verdict_sink_(report, v);
     if (v.ok()) {
       ++health_.passed;
     } else if (v.status == VerifyStatus::kStaleEpoch) {

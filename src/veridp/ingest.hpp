@@ -108,6 +108,16 @@ class ReportIngest {
     backoff_sink_ = std::move(sink);
   }
 
+  /// Observation tap: invoked for every report process() verifies, with
+  /// the verdict it received, in verification order. The fuzz oracle
+  /// uses it to capture the exact verified stream for time-to-detection
+  /// scoring and for the parallel verify_stream equality check; pass an
+  /// empty function to detach. Must not re-enter the ingest.
+  void set_verdict_sink(
+      std::function<void(const TagReport&, const Verdict&)> sink) {
+    verdict_sink_ = std::move(sink);
+  }
+
   /// Offers one datagram (encoded report bytes) to the queue. Returns
   /// true iff it was enqueued for verification (false: quarantined,
   /// deduped, or shed — see health()).
@@ -171,6 +181,7 @@ class ReportIngest {
   std::deque<TagReport> failures_;
 
   std::function<bool(double)> backoff_sink_;
+  std::function<void(const TagReport&, const Verdict&)> verdict_sink_;
   bool backoff_done_ = false;     ///< acked or out of retries
   int backoff_retries_ = 0;
   std::uint64_t backoff_next_at_ = 0;  ///< received-count gate for retry

@@ -5,6 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <string>
+#include <vector>
+
 #include "controller/routing.hpp"
 #include "testutil.hpp"
 
@@ -68,6 +72,70 @@ TEST_F(FaultTest, HistoryDescribesEveryFault) {
             std::string::npos);
   EXPECT_EQ(inject.history()[0].kind, FaultKind::kDropRule);
   EXPECT_EQ(inject.history()[1].kind, FaultKind::kIgnorePriority);
+}
+
+TEST(FaultRecord, DescribeCoversAllElevenKinds) {
+  // Every FaultKind renders a distinct, kind-identifying description —
+  // campaign traces and CLI output rely on these being unambiguous.
+  const struct {
+    FaultKind kind;
+    const char* token;
+  } cases[] = {
+      {FaultKind::kDropRule, "dropped at"},
+      {FaultKind::kRewriteOutput, "rewired to port"},
+      {FaultKind::kReplaceWithDrop, "replaced with drop"},
+      {FaultKind::kExternalRule, "external rule"},
+      {FaultKind::kIgnorePriority, "ignores rule priorities"},
+      {FaultKind::kRemoveAclEntry, "ACL entry removed"},
+      {FaultKind::kReportDrop, "dropped in channel"},
+      {FaultKind::kReportDuplicate, "duplicated in channel"},
+      {FaultKind::kReportReorder, "reordered in channel"},
+      {FaultKind::kReportDelay, "delayed in channel"},
+      {FaultKind::kReportCorrupt, "corrupted in channel"},
+  };
+  ASSERT_EQ(std::size(cases), 11u);
+  std::vector<std::string> rendered;
+  for (const auto& c : cases) {
+    const FaultRecord rec{c.kind, 3, 17, 2};
+    const std::string text = rec.describe();
+    EXPECT_NE(text.find(c.token), std::string::npos)
+        << "kind " << static_cast<int>(c.kind) << " rendered: " << text;
+    // The switch identity must appear in every description.
+    EXPECT_NE(text.find("S3"), std::string::npos) << text;
+    rendered.push_back(text);
+  }
+  // All eleven descriptions are pairwise distinct.
+  for (std::size_t i = 0; i < rendered.size(); ++i)
+    for (std::size_t j = i + 1; j < rendered.size(); ++j)
+      EXPECT_NE(rendered[i], rendered[j]) << i << " vs " << j;
+}
+
+TEST_F(FaultTest, InjectorHistoryKindsMatchDescriptions) {
+  // The injector-recorded records describe the same way as hand-built
+  // ones: exercise the switch-state kinds end to end.
+  const RuleId v0 = net.at(0).config().table.rules().front().id;
+  const RuleId v1 = net.at(1).config().table.rules().front().id;
+  const RuleId v2 = net.at(2).config().table.rules().front().id;
+  Match ssh;
+  ssh.dst_port = 22;
+  net.at(2).config().in_acls[3] = Acl{}.deny(ssh);
+  ASSERT_TRUE(inject.drop_rule(0, v0));
+  ASSERT_TRUE(inject.rewrite_rule_output(1, v1, 3));
+  ASSERT_TRUE(inject.replace_with_drop(2, v2));
+  inject.insert_external_rule(
+      0, FlowRule{777, 9999, Match::any(), Action::output(1)});
+  inject.ignore_priority(1);
+  ASSERT_TRUE(inject.remove_acl_entry(2, 3, true, 0));
+  ASSERT_EQ(inject.history().size(), 6u);
+  const FaultKind expect[] = {
+      FaultKind::kDropRule,       FaultKind::kRewriteOutput,
+      FaultKind::kReplaceWithDrop, FaultKind::kExternalRule,
+      FaultKind::kIgnorePriority, FaultKind::kRemoveAclEntry,
+  };
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(inject.history()[i].kind, expect[i]) << i;
+    EXPECT_FALSE(inject.history()[i].describe().empty());
+  }
 }
 
 TEST_F(FaultTest, RemoveAclEntryBoundsChecked) {

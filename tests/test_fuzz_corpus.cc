@@ -1,0 +1,143 @@
+// Schedule + corpus serialization: the campaign-trace formats must be
+// lossless (replay depends on byte-exact round-trips) and strict on
+// malformed input (a hand-edited corpus entry must fail loudly, not
+// silently mutate the schedule).
+#include "fuzz/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "fuzz/schedule.hpp"
+
+namespace veridp {
+namespace fuzz {
+namespace {
+
+FuzzSchedule complex_schedule() {
+  FuzzSchedule s;
+  s.seed = 0xdeadbeefcafef00dull;
+  s.topo = "internet2";
+  s.rounds = 9;
+  s.copies = 4;
+  s.probe_stride = 3;
+  s.refine_rules = 11;
+  s.edge_acls = 5;
+  s.actions.push_back({1, MutationClass::kDropRule, 7, 9, 0, 0});
+  s.actions.push_back({2, MutationClass::kReportCorrupt, 500, 0, 0, 0});
+  s.actions.push_back({3, MutationClass::kInstallLoss, 250, 12345, 0, 0});
+  s.actions.push_back({5, MutationClass::kPriorityShuffle, 4, 0, 61, 0});
+  s.actions.push_back({0, MutationClass::kChurn, 63, 0, 0, 0});
+  return s;
+}
+
+TEST(FuzzSchedule, SerializeParseRoundTripIsLossless) {
+  const FuzzSchedule s = complex_schedule();
+  const std::string text = serialize(s);
+  const auto back = parse_schedule(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s);
+  // Byte-exact idempotence: re-serializing the parse yields the input.
+  EXPECT_EQ(serialize(*back), text);
+}
+
+TEST(FuzzSchedule, EveryMutationClassNameRoundTrips) {
+  for (std::size_t i = 0; i < kNumMutationClasses; ++i) {
+    const auto cls = static_cast<MutationClass>(i);
+    const auto back = mutation_class_from(to_string(cls));
+    ASSERT_TRUE(back.has_value()) << to_string(cls);
+    EXPECT_EQ(*back, cls);
+  }
+  EXPECT_FALSE(mutation_class_from("no_such_class").has_value());
+}
+
+TEST(FuzzSchedule, ParseRejectsMalformedInput) {
+  const std::string good = serialize(complex_schedule());
+  EXPECT_TRUE(parse_schedule(good).has_value());
+  EXPECT_FALSE(parse_schedule("").has_value());
+  EXPECT_FALSE(parse_schedule("not-a-schedule\n").has_value());
+  // Unknown action class.
+  std::string bad = good;
+  const auto at = bad.find("drop_rule");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 9, "drop_rulz");
+  EXPECT_FALSE(parse_schedule(bad).has_value());
+  // Garbage ordinal.
+  std::string bad2 = good + "action 1 churn x 0 0 0\n";
+  EXPECT_FALSE(parse_schedule(bad2).has_value());
+}
+
+TEST(FuzzCorpus, EntryRoundTripIsLossless) {
+  CorpusEntry e;
+  e.name = "fixture";
+  e.schedule = complex_schedule();
+  e.digest = 1234567890123456789ull;
+  const std::string text = serialize_entry(e);
+  const auto back = parse_entry(text, "fixture");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, "fixture");
+  EXPECT_EQ(back->digest, e.digest);
+  EXPECT_EQ(back->schedule, e.schedule);
+  EXPECT_EQ(serialize_entry(*back), text);
+}
+
+TEST(FuzzCorpus, ParseEntryRejectsMalformedPreamble) {
+  const std::string good = serialize_entry(
+      {"x", complex_schedule(), 42});
+  EXPECT_TRUE(parse_entry(good, "x").has_value());
+  EXPECT_FALSE(parse_entry("", "x").has_value());
+  EXPECT_FALSE(parse_entry("veridp-fuzz-corpus v2\ndigest 1\n---\n", "x")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_entry("veridp-fuzz-corpus v1\ndigest nope\n---\n", "x")
+          .has_value());
+  // Missing separator.
+  EXPECT_FALSE(
+      parse_entry("veridp-fuzz-corpus v1\ndigest 1\n", "x").has_value());
+}
+
+TEST(FuzzCorpus, SaveLoadListThroughDisk) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "veridp_fuzz_corpus")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  CorpusEntry a{"bbb", complex_schedule(), 7};
+  CorpusEntry b{"aaa", complex_schedule(), 9};
+  b.schedule.seed = 99;
+  ASSERT_TRUE(save_entry(dir, a));
+  ASSERT_TRUE(save_entry(dir, b));
+  // A stray non-corpus file must be ignored.
+  std::ofstream(std::filesystem::path(dir) / "README.txt") << "not corpus";
+
+  const auto paths = list_corpus(dir);
+  ASSERT_EQ(paths.size(), 2u);
+  // Sorted by path for deterministic replay order.
+  EXPECT_LT(paths[0], paths[1]);
+
+  const auto la = load_entry(paths[1]);
+  ASSERT_TRUE(la.has_value());
+  EXPECT_EQ(la->name, "bbb");
+  EXPECT_EQ(la->digest, 7u);
+  EXPECT_EQ(la->schedule, a.schedule);
+  const auto lb = load_entry(paths[0]);
+  ASSERT_TRUE(lb.has_value());
+  EXPECT_EQ(lb->schedule.seed, 99u);
+
+  EXPECT_FALSE(load_entry(dir + "/missing.fuzz").has_value());
+  EXPECT_TRUE(list_corpus(dir + "/no_such_dir").empty());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(FuzzSchedule, Fnv1aIsStableAndCollisionResistantEnough) {
+  EXPECT_EQ(fnv1a("veridp"), fnv1a("veridp"));
+  EXPECT_NE(fnv1a("veridp"), fnv1a("veridq"));
+  EXPECT_NE(fnv1a(""), fnv1a(" "));
+  // Order matters (concatenation is not commutative mixing).
+  EXPECT_NE(fnv1a("1:2"), fnv1a("2:1"));
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace veridp

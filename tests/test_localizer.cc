@@ -168,5 +168,130 @@ TEST(Localizer, FatTreeSweepRecoversMostRealPaths) {
             0.9 * static_cast<double>(recoverable));
 }
 
+// Per-fault-class localization precision: one deterministic instance of
+// every switch-state FaultKind on the linear chain, with the faulted
+// switch in the middle so upstream tags exist. Every failing report
+// must produce at least one candidate blaming exactly the faulted
+// switch — this is the precision component of the fuzzing campaign's
+// scorecard, pinned per class.
+class PerClassBlame : public ::testing::Test {
+ protected:
+  PerClassBlame() : topo(linear(5)), ctrl(topo), net(topo) {
+    routing::install_shortest_paths(ctrl);
+  }
+
+  void deploy() { ctrl.deploy(net); }
+
+  // Verifies every ping report against the logical plane; failures are
+  // localized and scored against `faulty`.
+  void sweep(SwitchId faulty) {
+    HeaderSpace space;
+    ConfigTransferProvider provider(space, topo, ctrl.logical_configs());
+    PathTable table = PathTableBuilder(space, topo, provider).build();
+    Verifier v(table);
+    Localizer loc(topo, ctrl.logical_configs());
+    for (const auto& f : workload::ping_all(topo)) {
+      const auto r = net.inject(f.header, f.entry);
+      for (const TagReport& rep : r.reports) {
+        if (v.verify(rep).ok()) continue;
+        ++failed;
+        bool hit = false;
+        for (const Candidate& cand : loc.infer(rep).candidates)
+          hit = hit || cand.deviating_switch == faulty;
+        if (hit) ++blamed;
+      }
+    }
+  }
+
+  // The rule at `sw` routing toward subnet 10.0.0.0/24 (port-1 egress
+  // for every middle switch) — a victim whose loss every left-bound
+  // ping notices.
+  RuleId victim_toward_subnet0(SwitchId sw) {
+    for (const FlowRule& r : net.at(sw).config().table.rules())
+      if (r.match.dst == Prefix{Ipv4::of(10, 0, 0, 0), 24}) return r.id;
+    ADD_FAILURE() << "no rule toward subnet 0 at S" << sw;
+    return kNoRule;
+  }
+
+  Topology topo;
+  Controller ctrl;
+  Network net;
+  std::size_t failed = 0, blamed = 0;
+};
+
+TEST_F(PerClassBlame, DropRuleIsBlamedPrecisely) {
+  deploy();
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.drop_rule(2, victim_toward_subnet0(2)));
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
+TEST_F(PerClassBlame, ReplaceWithDropIsBlamedPrecisely) {
+  deploy();
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.replace_with_drop(2, victim_toward_subnet0(2)));
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
+TEST_F(PerClassBlame, RewriteOutputIsBlamedPrecisely) {
+  deploy();
+  FaultInjector inject(net);
+  // Left-bound traffic at S2 detours out the edge port: delivered at
+  // the wrong subnet, a clean (loop-free) deviation.
+  ASSERT_TRUE(inject.rewrite_rule_output(2, victim_toward_subnet0(2), 3));
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
+TEST_F(PerClassBlame, ExternalRuleIsBlamedPrecisely) {
+  deploy();
+  FaultInjector inject(net);
+  inject.insert_external_rule(
+      2, FlowRule{888888, 500000,
+                  Match::dst_prefix(Prefix{Ipv4::of(10, 0, 0, 0), 24}),
+                  Action::output(3)});
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
+TEST_F(PerClassBlame, IgnorePriorityIsBlamedPrecisely) {
+  // A consistent high-priority blackhole appended to BOTH planes after
+  // deploy: honoring priorities drops (logical behaviour), the broken
+  // oldest-inserted-wins mode forwards via the older routing rule.
+  deploy();
+  const Prefix target{Ipv4::of(10, 0, 0, 0), 24};
+  const RuleId bh =
+      ctrl.add_rule(2, 200000, Match::dst_prefix(target), Action::drop());
+  const FlowRule* lr = ctrl.logical(2).table.find(bh);
+  ASSERT_NE(lr, nullptr);
+  net.at(2).config().table.add(*lr);
+  FaultInjector inject(net);
+  inject.ignore_priority(2);
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
+TEST_F(PerClassBlame, RemoveAclEntryIsBlamedPrecisely) {
+  // Logical plane filters left-bound web traffic entering S2; the
+  // physical ACL loses the deny entry, so filtered flows leak through.
+  Match m;
+  m.src = Prefix{Ipv4::of(10, 0, 4, 0), 24};
+  m.dst = Prefix{Ipv4::of(10, 0, 0, 0), 24};
+  ctrl.set_in_acl(2, 2, Acl{}.deny(m));
+  deploy();
+  FaultInjector inject(net);
+  ASSERT_TRUE(inject.remove_acl_entry(2, 2, /*inbound=*/true, 0));
+  sweep(2);
+  ASSERT_GT(failed, 0u);
+  EXPECT_EQ(blamed, failed);
+}
+
 }  // namespace
 }  // namespace veridp

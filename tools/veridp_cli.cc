@@ -21,6 +21,13 @@
 //                                              the closed control loop; print
 //                                              the per-tick decision trace and
 //                                              the regime transition summary
+//   veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N] [--json FILE]
+//                   [--corpus DIR] [--replay DIR] [--minimize FILE]
+//                                              coverage-guided fault-fuzzing
+//                                              campaign with a detection/
+//                                              localization scorecard; or
+//                                              replay a corpus / shrink one
+//                                              failing schedule
 //
 // <name> ∈ {linear, fat4, fat6, stanford, internet2, toy}
 // KIND   ∈ {drop-rule, blackhole, rewire, external, priority}
@@ -36,6 +43,9 @@
 
 #include "controller/routing.hpp"
 #include "dataplane/fault.hpp"
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimizer.hpp"
+#include "fuzz/scorecard.hpp"
 #include "topo/generators.hpp"
 #include "veridp/channel.hpp"
 #include "veridp/control_loop.hpp"
@@ -64,6 +74,8 @@ int usage() {
                "  veridp_cli control <name> [--ticks N] [--loss P] [--dup P]\n"
                "             [--reorder P] [--corrupt P] [--seed S] [--wedge]\n"
                "             [--json FILE]\n"
+               "  veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N] [--json FILE]\n"
+               "             [--corpus DIR] [--replay DIR] [--minimize FILE]\n"
                "names:  linear fat4 fat6 stanford internet2 toy\n"
                "faults: drop-rule blackhole rewire external priority\n");
   return 2;
@@ -643,9 +655,152 @@ int cmd_control(Topology topo, const ChannelConfig& ccfg, int ticks,
   return (conserved && no_false_positives && settled && failsafe_ok) ? 0 : 1;
 }
 
+// Fuzzing campaigns (DESIGN.md §10). Three modes:
+//   --replay DIR     re-run every corpus entry, diff trace digests
+//                    (exit 2 on any divergence)
+//   --minimize FILE  ddmin a failing schedule / corpus entry to its
+//                    minimal reproducer
+//   (default)        coverage-guided campaign across --seeds × --budget;
+//                    --json writes the scorecard, --corpus persists
+//                    coverage-advancing schedules (exit 1 unless the
+//                    scorecard is clean: zero false positives, zero
+//                    conservation violations, zero parallel mismatches)
+int cmd_fuzz(int argc, char** argv) {
+  const fuzz::CampaignRunner runner;
+
+  if (const char* dir = flag_value(argc, argv, "--replay")) {
+    const auto paths = fuzz::list_corpus(dir);
+    if (paths.empty()) {
+      std::fprintf(stderr, "no corpus entries under %s\n", dir);
+      return 2;
+    }
+    std::size_t diverged = 0;
+    for (const std::string& path : paths) {
+      const auto entry = fuzz::load_entry(path);
+      if (!entry) {
+        std::printf("replay %s: MALFORMED\n", path.c_str());
+        ++diverged;
+        continue;
+      }
+      const fuzz::RunResult r = runner.run(entry->schedule);
+      if (r.digest == entry->digest) {
+        std::printf("replay %s: ok (digest %llu)\n", entry->name.c_str(),
+                    static_cast<unsigned long long>(r.digest));
+      } else {
+        std::printf("replay %s: DIVERGED (expected %llu got %llu)\n",
+                    entry->name.c_str(),
+                    static_cast<unsigned long long>(entry->digest),
+                    static_cast<unsigned long long>(r.digest));
+        ++diverged;
+      }
+    }
+    std::printf("replayed %zu entries, divergences %zu\n", paths.size(),
+                diverged);
+    return diverged == 0 ? 0 : 2;
+  }
+
+  if (const char* file = flag_value(argc, argv, "--minimize")) {
+    // Accept either a corpus entry or a bare schedule file.
+    std::optional<fuzz::FuzzSchedule> schedule;
+    if (const auto entry = fuzz::load_entry(file)) {
+      schedule = entry->schedule;
+    } else if (std::FILE* in = std::fopen(file, "rb")) {
+      std::string text;
+      char buf[4096];
+      for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, in)) > 0;)
+        text.append(buf, n);
+      std::fclose(in);
+      schedule = fuzz::parse_schedule(text);
+    }
+    if (!schedule) {
+      std::fprintf(stderr, "cannot parse %s\n", file);
+      return 2;
+    }
+    fuzz::MinimizeStats stats;
+    const fuzz::FuzzSchedule shrunk = fuzz::minimize(
+        runner, *schedule, fuzz::detects_inconsistency(), &stats);
+    if (stats.evaluations == 1 && !runner.run(shrunk).detected) {
+      std::fprintf(stderr,
+                   "schedule does not detect an inconsistency; "
+                   "nothing to minimize\n");
+      return 1;
+    }
+    std::printf("minimized %zu actions -> %zu (%d evaluations, %d kept)\n",
+                schedule->actions.size(), shrunk.actions.size(),
+                stats.evaluations, stats.committed);
+    std::printf("%s", fuzz::serialize(shrunk).c_str());
+    return 0;
+  }
+
+  fuzz::CampaignOptions opts;
+  if (const char* seed = flag_value(argc, argv, "--seed"))
+    opts.seeds = {static_cast<std::uint64_t>(std::atoll(seed))};
+  if (const char* seeds = flag_value(argc, argv, "--seeds")) {
+    opts.seeds.clear();
+    std::string tok;
+    for (const char* p = seeds;; ++p) {
+      if (*p == ',' || *p == '\0') {
+        if (!tok.empty())
+          opts.seeds.push_back(
+              static_cast<std::uint64_t>(std::atoll(tok.c_str())));
+        tok.clear();
+        if (*p == '\0') break;
+      } else {
+        tok += *p;
+      }
+    }
+    if (opts.seeds.empty()) return usage();
+  }
+  if (const char* budget = flag_value(argc, argv, "--budget"))
+    opts.budget_per_seed = std::atoi(budget);
+  if (opts.budget_per_seed <= 0) return usage();
+
+  const fuzz::CampaignOutcome outcome = fuzz::run_campaign(opts);
+  const fuzz::Scorecard& card = outcome.card;
+  for (const fuzz::RunResult& r : outcome.runs)
+    std::printf("run seed=%llu topo=%s actions=%zu effectful=%d "
+                "detected=%d localized=%d fp=%llu\n",
+                static_cast<unsigned long long>(r.schedule.seed),
+                r.schedule.topo.c_str(), r.schedule.actions.size(),
+                r.harmful_effectful, r.detected ? 1 : 0, r.localized ? 1 : 0,
+                static_cast<unsigned long long>(r.false_positives));
+  std::printf("campaign: %zu seeds x %d runs = %u total\n", opts.seeds.size(),
+              opts.budget_per_seed, card.runs);
+  std::printf("harmful %u detected %u localized %u\n", card.harmful_runs,
+              card.detected_runs, card.localized_runs);
+  std::printf("false positives %llu conservation violations %u "
+              "parallel mismatches %u\n",
+              static_cast<unsigned long long>(card.false_positives),
+              card.conservation_violations, card.parallel_mismatches);
+  std::printf("coverage keys %zu corpus new %u\n", card.coverage_keys,
+              card.corpus_new);
+
+  if (const char* dir = flag_value(argc, argv, "--corpus")) {
+    std::size_t saved = 0;
+    for (const fuzz::CorpusEntry& e : outcome.interesting)
+      if (fuzz::save_entry(dir, e)) ++saved;
+    std::printf("corpus: saved %zu entries to %s\n", saved, dir);
+  }
+  if (const char* path = flag_value(argc, argv, "--json")) {
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    const std::string json = fuzz::to_json(card);
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("scorecard written to %s\n", path);
+  }
+  std::printf("scorecard: %s\n", card.clean() ? "clean" : "VIOLATED");
+  return card.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0)
+    return cmd_fuzz(argc, argv);
   if (argc < 3) return usage();
   const std::string cmd = argv[1];
   auto topo = make_topo(argv[2]);
