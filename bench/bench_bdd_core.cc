@@ -29,6 +29,7 @@
 
 #include "bench_common.hpp"
 #include "veridp/incremental.hpp"
+#include "veridp/report_batch.hpp"
 #include "veridp/verifier.hpp"
 
 using namespace veridp;
@@ -158,9 +159,12 @@ struct VerifyPoint {
   std::size_t dup_stream = 0;    ///< duplicate-heavy stream length
   double unique_old_rps = 0.0;   ///< memo off, every report distinct
   double unique_new_rps = 0.0;   ///< memo on, every probe misses
+  double unique_batch_rps = 0.0; ///< batched pipeline, memo on, all miss
   double dup_old_rps = 0.0;      ///< memo off, hot-flow resampled stream
   double dup_new_rps = 0.0;      ///< memo on, duplicates hit
+  double dup_batch_rps = 0.0;    ///< batched pipeline on the dup stream
   double memo_hit_rate = 0.0;    ///< hits/lookups on the duplicate stream
+  std::size_t batch_size = 0;    ///< lanes per verify_epoch_aware_batch
 };
 
 double measure_verify_rate(const std::vector<TagReport>& stream,
@@ -169,6 +173,34 @@ double measure_verify_rate(const std::vector<TagReport>& stream,
   const auto t0 = std::chrono::steady_clock::now();
   for (const TagReport& r : stream)
     if (verify_epoch_aware(r, tables, memo).ok()) ++passed;
+  const double dt = now_minus(t0);
+  if (passed != stream.size())
+    std::printf("  (UNEXPECTED: %zu of %zu reports did not pass!)\n",
+                stream.size() - passed, stream.size());
+  return static_cast<double>(stream.size()) / dt;
+}
+
+/// The batched pipeline's rate on the same stream, honestly including
+/// the SoA materialization: each timed iteration pushes batch_size
+/// reports into the ReportBatch columns (bits_packed and all) before
+/// verify_epoch_aware_batch fills the verdict column.
+double measure_verify_batch_rate(const std::vector<TagReport>& stream,
+                                 const EpochTables& tables, VerifyMemo* memo,
+                                 std::size_t batch_size) {
+  ReportBatch batch;
+  batch.reserve(batch_size);
+  std::vector<Verdict> verdicts(batch_size);
+  std::size_t passed = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < stream.size();) {
+    const std::size_t n = std::min(batch_size, stream.size() - i);
+    batch.clear();
+    for (std::size_t k = 0; k < n; ++k) batch.push(stream[i + k]);
+    verify_epoch_aware_batch(batch, 0, n, tables, memo, verdicts.data());
+    for (std::size_t k = 0; k < n; ++k)
+      if (verdicts[k].ok()) ++passed;
+    i += n;
+  }
   const double dt = now_minus(t0);
   if (passed != stream.size())
     std::printf("  (UNEXPECTED: %zu of %zu reports did not pass!)\n",
@@ -202,10 +234,16 @@ VerifyPoint measure_verify(Setup& s) {
   p.reports = unique.size();
   p.hot_flows = hot;
   p.dup_stream = dup.size();
+  p.batch_size = autotuned_batch_size();
   p.unique_old_rps = measure_verify_rate(unique, tables, nullptr);
   {
     VerifyMemo memo;
     p.unique_new_rps = measure_verify_rate(unique, tables, &memo);
+  }
+  {
+    VerifyMemo memo;
+    p.unique_batch_rps =
+        measure_verify_batch_rate(unique, tables, &memo, p.batch_size);
   }
   p.dup_old_rps = measure_verify_rate(dup, tables, nullptr);
   {
@@ -214,12 +252,20 @@ VerifyPoint measure_verify(Setup& s) {
     p.memo_hit_rate = static_cast<double>(memo.hits()) /
                       static_cast<double>(memo.lookups());
   }
-  std::printf("%-12s  unique: old %.0f/s new %.0f/s (%.2fx)   hot %zu/%zu: "
-              "old %.0f/s new %.0f/s (%.2fx, hit rate %.2f)\n",
+  {
+    VerifyMemo memo;
+    p.dup_batch_rps =
+        measure_verify_batch_rate(dup, tables, &memo, p.batch_size);
+  }
+  std::printf("%-12s  unique: old %.0f/s new %.0f/s (%.2fx) batch %.0f/s "
+              "(%.2fx)\n              hot %zu/%zu: old %.0f/s new %.0f/s "
+              "(%.2fx, hit rate %.2f) batch %.0f/s\n",
               s.name.c_str(), p.unique_old_rps, p.unique_new_rps,
-              p.unique_new_rps / p.unique_old_rps, p.hot_flows, p.dup_stream,
-              p.dup_old_rps, p.dup_new_rps, p.dup_new_rps / p.dup_old_rps,
-              p.memo_hit_rate);
+              p.unique_new_rps / p.unique_old_rps, p.unique_batch_rps,
+              p.unique_batch_rps / p.unique_new_rps, p.hot_flows,
+              p.dup_stream, p.dup_old_rps, p.dup_new_rps,
+              p.dup_new_rps / p.dup_old_rps, p.memo_hit_rate,
+              p.dup_batch_rps);
   return p;
 }
 
@@ -258,14 +304,17 @@ void write_json(const std::vector<BuildPoint>& builds,
   std::fprintf(
       f,
       "  \"verify\": {\"setup\": \"FT(k=8)\", \"reports\": %zu, "
-      "\"hot_flows\": %zu, \"dup_stream\": %zu,\n"
+      "\"hot_flows\": %zu, \"dup_stream\": %zu, \"batch_size\": %zu,\n"
       "    \"unique_old_reports_per_s\": %.0f, "
-      "\"unique_new_reports_per_s\": %.0f,\n"
+      "\"unique_new_reports_per_s\": %.0f, "
+      "\"unique_batch_reports_per_s\": %.0f,\n"
       "    \"dup_old_reports_per_s\": %.0f, "
-      "\"dup_new_reports_per_s\": %.0f, \"memo_hit_rate\": %.4f}\n"
+      "\"dup_new_reports_per_s\": %.0f, "
+      "\"dup_batch_reports_per_s\": %.0f, \"memo_hit_rate\": %.4f}\n"
       "}\n",
-      vp.reports, vp.hot_flows, vp.dup_stream, vp.unique_old_rps,
-      vp.unique_new_rps, vp.dup_old_rps, vp.dup_new_rps, vp.memo_hit_rate);
+      vp.reports, vp.hot_flows, vp.dup_stream, vp.batch_size,
+      vp.unique_old_rps, vp.unique_new_rps, vp.unique_batch_rps,
+      vp.dup_old_rps, vp.dup_new_rps, vp.dup_batch_rps, vp.memo_hit_rate);
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }

@@ -371,6 +371,57 @@ bool BddManager::eval(BddRef a, const std::function<bool(int)>& bit) const {
   return eval_with(a, [&bit](int v) { return bit(v); });
 }
 
+#if defined(__GNUC__) || defined(__clang__)
+#define VERIDP_PREFETCH(addr) __builtin_prefetch((addr), 0, 1)
+#else
+#define VERIDP_PREFETCH(addr) ((void)0)
+#endif
+
+void BddManager::eval_packed_many(const BddRef* roots,
+                                  const std::array<std::uint64_t, 2>* hdrs,
+                                  std::size_t n, std::uint8_t* out) const {
+  const Node* const nodes = nodes_.data();
+  std::size_t i = 0;
+  for (; i + kEvalLanes <= n; i += kEvalLanes) {
+    BddRef cur[kEvalLanes];
+    for (std::size_t w = 0; w < kEvalLanes; ++w) {
+      cur[w] = check_ref(roots[i + w], "eval_packed_many");
+      if (cur[w] > kBddTrue) VERIDP_PREFETCH(&nodes[cur[w]]);
+    }
+    // Lockstep: each sweep advances every live lane one level, so the
+    // kEvalLanes dependent node loads are all in flight at once instead
+    // of serializing the way a per-lane walk would.
+    bool live = true;
+    while (live) {
+      live = false;
+      for (std::size_t w = 0; w < kEvalLanes; ++w) {
+        const BddRef a = cur[w];
+        if (a <= kBddTrue) continue;
+        const Node& nd = nodes[static_cast<std::size_t>(a)];
+        const std::uint64_t* h = hdrs[i + w].data();
+        const int v = nd.var;
+        const std::uint64_t bit = (h[v >> 6] >> (63 - (v & 63))) & 1;
+        const BddRef next = bit ? nd.high : nd.low;
+        cur[w] = next;
+        if (next > kBddTrue) {
+          VERIDP_PREFETCH(&nodes[next]);
+          live = true;
+        }
+      }
+    }
+    for (std::size_t w = 0; w < kEvalLanes; ++w)
+      out[i + w] = static_cast<std::uint8_t>(cur[w] == kBddTrue);
+  }
+  // Remainder lanes: plain scalar walks (same bit extraction).
+  for (; i < n; ++i) {
+    const std::uint64_t* h = hdrs[i].data();
+    out[i] = static_cast<std::uint8_t>(eval_with(
+        roots[i], [h](int v) { return (h[v >> 6] >> (63 - (v & 63))) & 1; }));
+  }
+}
+
+#undef VERIDP_PREFETCH
+
 double BddManager::sat_count(BddRef a) const {
   // count(n) = number of assignments of variables >= n.var satisfying n,
   // scaled at the end for variables above the root. Read-mostly after

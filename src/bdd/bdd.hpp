@@ -79,6 +79,7 @@
 // 2^24 nodes and the 7-bit generation wraps after 127 managers.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -156,6 +157,27 @@ class BddManager {
     }
     return a == kBddTrue;
   }
+
+  /// Lane width of eval_packed_many's lockstep walk. Eight independent
+  /// walks in flight cover the ~4-cycle-issue × ~100ns-miss product of
+  /// one dependent node load without spilling the lane state registers.
+  static constexpr std::size_t kEvalLanes = 8;
+
+  /// Batched membership: evaluates n independent (root, packed-header)
+  /// pairs, writing out[i] = 1 iff hdrs[i] ∈ roots[i]. The packed
+  /// header uses PacketHeader::bits_packed() layout — variable v is bit
+  /// (63 - v%64) of word v/64 — i.e. each lane computes exactly
+  /// `eval_with(roots[i], [&](int v){ return (h[v>>6] >> (63-(v&63)))&1; })`.
+  ///
+  /// Scalar eval_with is a chain of dependent, cache-missing node loads;
+  /// this walks kEvalLanes roots in lockstep (advancing every live lane
+  /// one level per sweep, prefetching each lane's next node) so the
+  /// misses overlap instead of serializing. Verdicts are bit-identical
+  /// to per-lane eval_with. Read-only, allocation-free, safe
+  /// concurrently like eval_with.
+  void eval_packed_many(const BddRef* roots,
+                        const std::array<std::uint64_t, 2>* hdrs,
+                        std::size_t n, std::uint8_t* out) const;
 
   /// Evaluates `a` under a full assignment: `bits[v]` is the value of
   /// variable v. O(path length); allocates nothing.

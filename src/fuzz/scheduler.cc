@@ -189,5 +189,30 @@ FuzzSchedule ScheduleGenerator::mutate(const FuzzSchedule& base,
   return s;
 }
 
+FuzzSchedule ScheduleGenerator::crossover(const FuzzSchedule& a,
+                                          const FuzzSchedule& b,
+                                          int index) const {
+  Rng rng = run_rng(seed_, index, "xover");
+  FuzzSchedule s = a;  // parent A donates the environment
+  s.seed = fnv1a(std::to_string(a.seed) + "/x/" + std::to_string(b.seed) +
+                 "/" + std::to_string(index));
+  // Splice: a prefix of A's actions (possibly empty, possibly all) with
+  // a suffix of B's. Cut points are rng-chosen but pure in
+  // (seed, index), so the cross-bred schedule replays byte-identically.
+  const std::size_t cut_a = rng.index(a.actions.size() + 1);
+  const std::size_t cut_b = rng.index(b.actions.size() + 1);
+  s.actions.assign(a.actions.begin(),
+                   a.actions.begin() + static_cast<std::ptrdiff_t>(cut_a));
+  const int last_round = std::max(1, s.rounds - 1);
+  for (std::size_t i = cut_b; i < b.actions.size(); ++i) {
+    FuzzAction act = b.actions[i];
+    // B may run more rounds than A: keep spliced actions inside A's
+    // mutation window so they stay applicable.
+    act.round = std::clamp(act.round, 1, last_round);
+    s.actions.push_back(act);
+  }
+  return s;
+}
+
 }  // namespace fuzz
 }  // namespace veridp

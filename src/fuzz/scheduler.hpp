@@ -47,6 +47,17 @@ class ScheduleGenerator {
   [[nodiscard]] FuzzSchedule mutate(const FuzzSchedule& base,
                                     int index) const;
 
+  /// Cross-breeds two corpus entries (pure in (seed, index, a, b)):
+  /// a prefix of `a`'s action list spliced with a suffix of `b`'s,
+  /// under `a`'s environment (topology, rounds, probe knobs). Spliced
+  /// rounds are clamped into `a`'s round range. Like the minimizer,
+  /// crossover may produce class mixes the generator itself avoids
+  /// (e.g. kInstallLoss beside other harmful classes); the campaign
+  /// tolerates those — inert actions are simply never ground truth.
+  [[nodiscard]] FuzzSchedule crossover(const FuzzSchedule& a,
+                                       const FuzzSchedule& b,
+                                       int index) const;
+
  private:
   std::uint64_t seed_;
 };

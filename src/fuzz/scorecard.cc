@@ -1,5 +1,6 @@
 #include "fuzz/scorecard.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "fuzz/scheduler.hpp"
@@ -145,37 +146,70 @@ CampaignOutcome run_campaign(const CampaignOptions& opts) {
   outcome.card.seeds = opts.seeds;
   const CampaignRunner runner(opts.knobs);
 
-  for (const std::uint64_t seed : opts.seeds) {
-    const ScheduleGenerator gen(seed);
-    for (int index = 0; index < opts.budget_per_seed; ++index) {
-      FuzzSchedule schedule;
-      // Past the deterministic sweep (single-class runs + benign
-      // flood), odd indices mutate a coverage-advancing corpus entry
-      // instead of generating fresh — that's the "guided" part.
-      const bool mutate_slot = index > kNumMutationClasses &&
-                               (index % 2 == 1) &&
-                               !outcome.interesting.empty();
-      if (mutate_slot) {
-        const CorpusEntry& base = outcome.interesting[static_cast<std::size_t>(
-            index) % outcome.interesting.size()];
-        schedule = gen.mutate(base.schedule, index);
+  const auto run_one = [&outcome, &runner](const ScheduleGenerator& gen,
+                                           std::uint64_t seed, int index) {
+    FuzzSchedule schedule;
+    // Past the deterministic sweep (single-class runs + benign flood),
+    // odd indices work the corpus instead of generating fresh — that's
+    // the "guided" part. Every fourth index cross-breeds two distinct
+    // coverage-advancing entries; the other odd indices mutate one.
+    const bool corpus_slot = index > kNumMutationClasses &&
+                             (index % 2 == 1) &&
+                             !outcome.interesting.empty();
+    if (corpus_slot) {
+      const std::size_t n = outcome.interesting.size();
+      const std::size_t bi = static_cast<std::size_t>(index) % n;
+      const CorpusEntry& base = outcome.interesting[bi];
+      if (n >= 2 && index % 4 == 3) {
+        const CorpusEntry& other = outcome.interesting[(bi + 1) % n];
+        schedule = gen.crossover(base.schedule, other.schedule, index);
       } else {
-        schedule = gen.generate(index);
+        schedule = gen.mutate(base.schedule, index);
       }
+    } else {
+      schedule = gen.generate(index);
+    }
 
-      RunResult r = runner.run(schedule);
-      outcome.card.add_run(r);
-      const std::size_t fresh = outcome.coverage.add_run(
-          r.schedule, r.verdict_kinds_seen, r.regimes_seen);
-      if (fresh > 0) {
-        CorpusEntry entry;
-        entry.name = run_name(seed, index);
-        entry.schedule = r.schedule;
-        entry.digest = r.digest;
-        outcome.interesting.push_back(entry);
-        ++outcome.card.corpus_new;
+    RunResult r = runner.run(schedule);
+    outcome.card.add_run(r);
+    const std::size_t fresh = outcome.coverage.add_run(
+        r.schedule, r.verdict_kinds_seen, r.regimes_seen);
+    if (fresh > 0) {
+      CorpusEntry entry;
+      entry.name = run_name(seed, index);
+      entry.schedule = r.schedule;
+      entry.digest = r.digest;
+      outcome.interesting.push_back(entry);
+      ++outcome.card.corpus_new;
+    }
+    outcome.runs.push_back(std::move(r));
+  };
+
+  if (opts.budget_seconds > 0) {
+    // Wall-clock mode: round-robin the seeds at increasing index until
+    // the deadline. The deadline is only checked between runs, so the
+    // in-flight run always completes and every recorded run remains
+    // individually replayable.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(opts.budget_seconds);
+    std::vector<ScheduleGenerator> gens;
+    gens.reserve(opts.seeds.size());
+    for (const std::uint64_t seed : opts.seeds) gens.emplace_back(seed);
+    bool expired = false;
+    for (int index = 0; !expired; ++index) {
+      for (std::size_t si = 0; si < opts.seeds.size(); ++si) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          expired = true;
+          break;
+        }
+        run_one(gens[si], opts.seeds[si], index);
       }
-      outcome.runs.push_back(std::move(r));
+    }
+  } else {
+    for (std::size_t si = 0; si < opts.seeds.size(); ++si) {
+      const ScheduleGenerator gen(opts.seeds[si]);
+      for (int index = 0; index < opts.budget_per_seed; ++index)
+        run_one(gen, opts.seeds[si], index);
     }
   }
   outcome.card.coverage_keys = outcome.coverage.size();

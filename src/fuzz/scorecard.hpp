@@ -71,6 +71,14 @@ struct Scorecard {
 struct CampaignOptions {
   std::vector<std::uint64_t> seeds = {1, 2, 3};
   int budget_per_seed = 18;  ///< schedules per seed
+  /// Wall-clock budget mode (`veridp_cli fuzz --budget-seconds N`):
+  /// when > 0, budget_per_seed is ignored and the campaign round-robins
+  /// the seeds with increasing run index until the deadline passes (the
+  /// in-flight run always completes). Each individual run stays a pure
+  /// function of (seed, index) — traces and digests replay exactly —
+  /// but HOW MANY runs fit is machine-dependent, so scorecards from
+  /// wall-clock campaigns are not comparable across hosts.
+  std::uint64_t budget_seconds = 0;
   CampaignKnobs knobs;
 };
 

@@ -120,6 +120,12 @@ class HeaderSet {
   /// Raw BDD handle (stable identity for hashing/indexing).
   [[nodiscard]] BddRef ref() const { return ref_; }
 
+  /// Owning manager, null for a default-constructed set. The batched
+  /// verifier uses it to group same-arena entries for the lockstep
+  /// membership kernel (BddManager::eval_packed_many); membership-side
+  /// read-only like ref().
+  [[nodiscard]] const BddManager* manager() const { return mgr_.get(); }
+
  private:
   friend class HeaderSpace;
   HeaderSet(std::shared_ptr<BddManager> mgr, BddRef ref)

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "veridp/admission.hpp"
+#include "veridp/report_batch.hpp"
 #include "veridp/seq_tracker.hpp"
 #include "veridp/server.hpp"
 
@@ -55,6 +56,12 @@ struct IngestConfig {
   int backoff_max_retries = 6;        ///< signal retries before giving up
   std::size_t quarantine_keep = 16;   ///< malformed payloads retained
   std::size_t failure_keep = 32;      ///< failed reports retained
+  /// Lanes per verify_epoch_aware_batch call in process(): 0 autotunes
+  /// (autotuned_batch_size()), 1 forces the pre-batching scalar path
+  /// (one Server::verify per report — the differential baseline), any
+  /// other value is used verbatim. Verdicts and health accounting are
+  /// identical across settings; only throughput differs.
+  std::size_t batch_size = 0;
 
   /// Throws std::invalid_argument on a config that silently misbehaves:
   /// capacity == 0 (nothing can ever be queued), high_watermark >=
@@ -127,7 +134,9 @@ class ReportIngest {
   /// report still goes through dedup/shedding, not quarantine).
   bool offer_report(const TagReport& report);
 
-  /// Verifies up to `max` queued reports. Returns how many it verified.
+  /// Verifies up to `max` queued reports — in batches of
+  /// config().batch_size lanes through Server::verify_batch (scalar
+  /// when batch_size == 1). Returns how many it verified.
   std::size_t process(std::size_t max = SIZE_MAX);
 
   /// Hands admission over to a control loop: from now on the commanded
@@ -169,13 +178,22 @@ class ReportIngest {
   /// Post-dedup admission decision shared by offer / offer_report:
   /// returns true iff the report should be queued (false: counted shed).
   bool admit(std::uint32_t seq);
+  /// Terminal accounting for one verified report: verdict sink, health
+  /// bucket, failure retention — shared by the scalar and batched
+  /// process paths.
+  void account(const TagReport& report, const Verdict& v);
 
   Server* server_;
   IngestConfig cfg_;
   IngestHealth health_;
   bool governed_ = false;  ///< a control loop commands admission
   AdmissionRegime regime_ = AdmissionRegime::kNormal;
-  std::deque<TagReport> queue_;
+  /// Admitted-but-unverified reports in SoA form: offer() appends
+  /// lanes, process() verifies a prefix batch-wise and compacts. The
+  /// columns double as the verify kernel's input — no per-report
+  /// repacking between the queue and the verifier.
+  ReportBatch queue_;
+  std::vector<Verdict> verdicts_;  ///< process() scratch, one per lane
   std::unordered_map<SwitchId, SeqTracker> seq_state_;
   std::deque<std::vector<std::uint8_t>> quarantine_;
   std::deque<TagReport> failures_;

@@ -1,9 +1,11 @@
 #include "veridp/parallel_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "dataplane/wire.hpp"
 #include "veridp/path_builder.hpp"
+#include "veridp/report_batch.hpp"
 
 namespace veridp {
 
@@ -202,15 +204,28 @@ ParallelServer::StreamTotals ParallelServer::verify_stream(
       const std::size_t lo = static_cast<std::size_t>(w) * chunk;
       const std::size_t hi =
           lo + chunk < reports.size() ? lo + chunk : reports.size();
-      for (std::size_t i = lo; i < hi; ++i) {
-        const Verdict v = verify_epoch_aware(reports[i], tables, &memo);
-        ++t.verified;
-        if (v.ok())
-          ++t.passed;
-        else if (v.status == VerifyStatus::kStaleEpoch)
-          ++t.stale;
-        else
-          ++t.failed;
+      // Batched kernel over the worker's slice, autotuned lanes per
+      // call; scratch is worker-local like the memo.
+      const std::size_t bs = autotuned_batch_size();
+      ReportBatch soa;
+      soa.reserve(bs);
+      std::vector<Verdict> verdicts(bs);
+      for (std::size_t i = lo; i < hi;) {
+        const std::size_t m = std::min(bs, hi - i);
+        soa.clear();
+        for (std::size_t k = 0; k < m; ++k) soa.push(reports[i + k]);
+        verify_epoch_aware_batch(soa, 0, m, tables, &memo, verdicts.data());
+        for (std::size_t k = 0; k < m; ++k) {
+          const Verdict& v = verdicts[k];
+          ++t.verified;
+          if (v.ok())
+            ++t.passed;
+          else if (v.status == VerifyStatus::kStaleEpoch)
+            ++t.stale;
+          else
+            ++t.failed;
+        }
+        i += m;
       }
     });
   }
@@ -348,6 +363,11 @@ void ParallelServer::worker_loop(unsigned idx) {
   const std::size_t own_idx = idx % lanes_.size();
   std::vector<TagReport> batch;
   batch.reserve(cfg_.batch_size);
+  // Worker-local scratch for the batched verify kernel: the dequeued
+  // reports are transposed into SoA lanes once per batch.
+  ReportBatch soa;
+  soa.reserve(cfg_.batch_size);
+  std::vector<Verdict> verdicts(cfg_.batch_size);
   // Per-worker duplicate-report memo (lock-free by construction). It is
   // valid for exactly one snapshot; `held` keeps that snapshot alive so
   // a newly published snapshot can never be allocated at the same
@@ -406,8 +426,12 @@ void ParallelServer::worker_loop(unsigned idx) {
     const EpochTables tables = snap->view();
     const std::uint64_t hits_before = memo.hits();
     const std::uint64_t lookups_before = memo.lookups();
-    for (const TagReport& r : batch) {
-      const Verdict v = verify_epoch_aware(r, tables, &memo);
+    soa.clear();
+    for (const TagReport& r : batch) soa.push(r);
+    if (verdicts.size() < n) verdicts.resize(n);
+    verify_epoch_aware_batch(soa, 0, n, tables, &memo, verdicts.data());
+    for (std::size_t k = 0; k < n; ++k) {
+      const Verdict& v = verdicts[k];
       ws.verified.fetch_add(1, std::memory_order_relaxed);
       if (v.ok()) {
         ws.passed.fetch_add(1, std::memory_order_relaxed);
@@ -418,7 +442,7 @@ void ParallelServer::worker_loop(unsigned idx) {
         // Hand the mismatch to the localization stage. Bounded: if the
         // stage is hopelessly behind, overflow mismatches are dropped
         // (they are still counted in `failed`).
-        failure_queue_.try_push(r);
+        failure_queue_.try_push(batch[k]);
       }
     }
     ws.memo_hits.fetch_add(memo.hits() - hits_before,

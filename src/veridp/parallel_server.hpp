@@ -96,7 +96,10 @@ struct ParallelConfig {
   std::size_t queue_capacity = 4096; ///< hard bound, split across lanes
   std::size_t high_watermark = 3072; ///< shedding starts above this (split)
   std::uint32_t shed_modulus = 4;    ///< keep seq % modulus == 0 when shedding
-  std::size_t batch_size = 32;       ///< reports per worker dequeue
+  /// Reports per worker dequeue — also the lane count handed to
+  /// verify_epoch_aware_batch per snapshot load (one RCU read and one
+  /// batched kernel call per dequeue).
+  std::size_t batch_size = 32;
   std::size_t shards = 16;           ///< switch-affinity granularity
   std::size_t dedup_window = 4096;   ///< remembered seqs per switch
   std::size_t failure_keep = 256;    ///< mismatched reports retained

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "bloom/bloom.hpp"
+
 namespace veridp {
 
 ConfigTransferProvider::ConfigTransferProvider(
@@ -107,14 +109,26 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
 
       const PortId n = b.topo_->num_ports(s);
 
+      // BF masks for every hop this switch can emit from x — data ports
+      // 1..n then ⊥ — in one batched Murmur3 sweep, instead of one hash
+      // per (atom, port) tag insert below (atoms sharing an output port
+      // would each re-hash the same hop).
+      std::vector<Hop> fan;
+      fan.reserve(n + 1);
+      for (PortId out = 1; out <= n; ++out) fan.push_back(Hop{x, s, out});
+      fan.push_back(Hop{x, s, kDropPort});
+      std::vector<std::uint64_t> fan_masks(fan.size());
+      BloomTag::hop_masks(fan.data(), fan.size(), tag.bits(),
+                          fan_masks.data());
+
       // Drop branch (no rewrites can matter for ⊥).
       {
         HeaderSet hd = h & (memo ? memo->drop_at(s, x)
                                  : b.transfer_->transfer(s, x, kDropPort));
         if (!hd.empty()) {
           const Hop hop{x, s, kDropPort};
-          BloomTag tag2 = tag;
-          tag2.insert(hop);
+          const BloomTag tag2 =
+              BloomTag::from_raw(tag.value() | fan_masks[n], tag.bits());
           path.push_back(hop);
           table.add_path(inport, PortKey{s, kDropPort}, hd, path, tag2);
           path.pop_back();
@@ -133,8 +147,8 @@ void PathTableBuilder::traverse(PathTable& table, PortKey inport,
           if (!atom.rewrite.empty()) h2 = atom.rewrite.apply_to_set(h2);
 
           const Hop hop{x, s, out};
-          BloomTag tag2 = tag;
-          tag2.insert(hop);
+          const BloomTag tag2 = BloomTag::from_raw(
+              tag.value() | fan_masks[out - 1], tag.bits());
           path.push_back(hop);
 
           if (b.topo_->is_edge_port(PortKey{s, out})) {

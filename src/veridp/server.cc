@@ -1,5 +1,7 @@
 #include "veridp/server.hpp"
 
+#include "veridp/report_batch.hpp"
+
 namespace veridp {
 
 Server::Server(Controller& controller, Mode mode, int tag_bits,
@@ -145,6 +147,22 @@ Verdict Server::verify(const TagReport& report) {
   else
     ++failed_;
   return v;
+}
+
+void Server::verify_batch(const ReportBatch& batch, std::size_t first,
+                          std::size_t count, Verdict* out) {
+  if (count == 0) return;
+  ensure_fresh();
+  verify_epoch_aware_batch(batch, first, count, epoch_tables(), &memo_, out);
+  verified_ += count;
+  for (std::size_t k = 0; k < count; ++k) {
+    if (out[k].ok())
+      ++passed_;
+    else if (out[k].status == VerifyStatus::kStaleEpoch)
+      ++stale_;
+    else
+      ++failed_;
+  }
 }
 
 LocalizeResult Server::localize(const TagReport& report) const {

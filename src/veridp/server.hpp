@@ -58,6 +58,15 @@ class Server {
   /// the header comment); otherwise the current table is always used.
   Verdict verify(const TagReport& report);
 
+  /// Batched verify over lanes [first, first + count) of a ReportBatch:
+  /// one ensure_fresh/epoch_tables per call instead of per report, then
+  /// the batched kernel (verify_epoch_aware_batch). Verdicts land in
+  /// out[0..count) and the health counters advance exactly as count
+  /// scalar verify() calls would — verdicts are bit-identical by the
+  /// kernel's contract.
+  void verify_batch(const ReportBatch& batch, std::size_t first,
+                    std::size_t count, Verdict* out);
+
   /// Runs fault localization for a (failed) report. Localization uses
   /// the controller's *current* logical config, so it is only
   /// meaningful for current-epoch failures — kStaleEpoch verdicts

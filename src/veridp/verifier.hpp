@@ -29,6 +29,8 @@ namespace veridp {
 
 // veridp-lint: hot-path
 
+struct ReportBatch;
+
 enum class VerifyStatus {
   kOk,           ///< header matched a path and tags are equal
   kNoPath,       ///< no path for the pair admits this header
@@ -135,6 +137,9 @@ class VerifyMemo {
  private:
   friend Verdict verify_epoch_aware(const TagReport&, const EpochTables&,
                                     VerifyMemo*);
+  friend void verify_epoch_aware_batch(const ReportBatch&, std::size_t,
+                                       std::size_t, const EpochTables&,
+                                       VerifyMemo*, Verdict*);
   struct Entry {
     bool valid = false;
     PortKey inport{};
@@ -144,6 +149,17 @@ class VerifyMemo {
     std::uint32_t epoch = 0;
     Verdict verdict{};
   };
+  // The hash and key compare in field form, shared by the scalar
+  // (TagReport) probe and the batched (column) probe so the two paths
+  // can never index differently for the same report.
+  [[nodiscard]] static std::uint64_t hash_fields(PortKey in, PortKey out,
+                                                 const PacketHeader& h,
+                                                 std::uint64_t tag_value,
+                                                 std::uint32_t epoch);
+  [[nodiscard]] static bool matches_fields(const Entry& e, PortKey in,
+                                           PortKey out, const PacketHeader& h,
+                                           std::uint64_t tag_value,
+                                           int tag_bits, std::uint32_t epoch);
   [[nodiscard]] std::size_t index(const TagReport& r) const;
   [[nodiscard]] static bool matches(const Entry& e, const TagReport& r);
 
@@ -158,6 +174,30 @@ class VerifyMemo {
 [[nodiscard]] Verdict verify_epoch_aware(const TagReport& report,
                                          const EpochTables& tables,
                                          VerifyMemo* memo);
+
+/// Batched verify_epoch_aware over lanes [first, first + count) of a
+/// ReportBatch, filling out[0..count). Bit-identical to running the
+/// memoized scalar form lane by lane in order — the verdicts (status,
+/// matched pointer, epoch) AND the memo's end state (surviving entries
+/// and hit/lookup counters): the probe pass tracks which lane will fill
+/// each slot, so intra-batch duplicates and slot evictions resolve
+/// exactly as the scalar probe-then-fill interleaving would.
+///
+/// The speedup levers (DESIGN.md §11): lanes are bucketed by their
+/// epoch-resolved table so snapshot resolution happens once per bucket;
+/// consecutive same-pair lanes share one path-table probe; BDD
+/// membership runs through BddManager::eval_packed_many, overlapping
+/// the dependent node loads across lanes; tags compare against raw
+/// columns. Lanes the kernel cannot take — no table covers the epoch
+/// (grace/stale/ahead-of-table edges) or a path list spans BDD arenas —
+/// fall back to the scalar form per lane, so every edge keeps its
+/// scalar semantics by construction.
+///
+/// Same memo contract as the scalar form (memo may be null); pure read
+/// of the tables, single-threaded per (memo, out) like the scalar path.
+void verify_epoch_aware_batch(const ReportBatch& batch, std::size_t first,
+                              std::size_t count, const EpochTables& tables,
+                              VerifyMemo* memo, Verdict* out);
 
 class Verifier {
  public:

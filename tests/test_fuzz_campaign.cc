@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "fuzz/coverage.hpp"
 #include "fuzz/scheduler.hpp"
 #include "fuzz/scorecard.hpp"
@@ -142,6 +144,80 @@ TEST(FuzzCampaign, GuidedMutationSlotsDrawFromTheCorpus) {
   }
   EXPECT_TRUE(saw_mutation);
   EXPECT_TRUE(outcome.card.clean()) << to_json(outcome.card);
+}
+
+TEST(FuzzScheduler, CrossoverIsDeterministicAndSplices) {
+  const ScheduleGenerator gen(5);
+  const FuzzSchedule a = gen.generate(16);  // multi-fault compositions
+  const FuzzSchedule b = gen.generate(17);
+  ASSERT_FALSE(a.actions.empty());
+  ASSERT_FALSE(b.actions.empty());
+
+  const FuzzSchedule x1 = gen.crossover(a, b, 23);
+  const FuzzSchedule x2 = gen.crossover(a, b, 23);
+  EXPECT_EQ(serialize(x1), serialize(x2)) << "crossover must be pure";
+  EXPECT_TRUE(x1 == x2);
+
+  // Different indices draw different cut points (eventually).
+  bool varied = false;
+  for (int index = 24; index < 40 && !varied; ++index)
+    varied = !(gen.crossover(a, b, index) == x1);
+  EXPECT_TRUE(varied);
+
+  // The child runs parent A's environment, derives a fresh seed, and
+  // every action is a verbatim splice from one of the parents (modulo
+  // the round clamp into A's window).
+  EXPECT_EQ(x1.topo, a.topo);
+  EXPECT_EQ(x1.rounds, a.rounds);
+  EXPECT_NE(x1.seed, a.seed);
+  EXPECT_NE(x1.seed, b.seed);
+  for (const FuzzAction& act : x1.actions) {
+    const auto matches = [&act](const FuzzAction& p) {
+      return p.cls == act.cls && p.a == act.a && p.b == act.b;
+    };
+    const bool from_a =
+        std::any_of(a.actions.begin(), a.actions.end(), matches);
+    const bool from_b =
+        std::any_of(b.actions.begin(), b.actions.end(), matches);
+    EXPECT_TRUE(from_a || from_b);
+    // A's prefix is copied verbatim (whatever rounds A used); B's
+    // suffix is clamped into A's mutation window — so nothing may land
+    // beyond A's rounds.
+    EXPECT_LE(act.round, a.rounds);
+  }
+}
+
+TEST(FuzzCampaign, CrossoverSlotsRunAndReplayExactly) {
+  CampaignOptions opts;
+  opts.seeds = {1};
+  opts.budget_per_seed = 20;  // index 19 is the crossover slot (19 % 4 == 3)
+  const CampaignOutcome a = run_campaign(opts);
+  const CampaignOutcome b = run_campaign(opts);
+  ASSERT_EQ(a.runs.size(), 20u);
+  // Campaign-level determinism with the crossover slot in play.
+  for (std::size_t i = 0; i < a.runs.size(); ++i) {
+    EXPECT_EQ(a.runs[i].digest, b.runs[i].digest) << "run " << i;
+    EXPECT_TRUE(a.runs[i].schedule == b.runs[i].schedule);
+  }
+  EXPECT_TRUE(a.card.clean()) << to_json(a.card);
+}
+
+TEST(FuzzCampaign, WallClockBudgetModeTerminatesAndStaysClean) {
+  CampaignOptions opts;
+  opts.seeds = {1, 2};
+  opts.budget_seconds = 1;
+  opts.budget_per_seed = 0;  // ignored in wall-clock mode
+  const CampaignOutcome outcome = run_campaign(opts);
+  // At least one full round-robin sweep fits a 1 s budget (a run takes
+  // milliseconds), and the deadline stops the campaign promptly.
+  EXPECT_GE(outcome.runs.size(), 2u);
+  EXPECT_TRUE(outcome.card.clean()) << to_json(outcome.card);
+  // Every recorded run is individually replayable: re-running its
+  // schedule reproduces the digest (wall-clock mode only changes how
+  // many runs happen, never what each run does).
+  const CampaignRunner runner;
+  const RunResult& last = outcome.runs.back();
+  EXPECT_EQ(runner.run(last.schedule).digest, last.digest);
 }
 
 }  // namespace

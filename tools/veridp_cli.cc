@@ -21,7 +21,8 @@
 //                                              the closed control loop; print
 //                                              the per-tick decision trace and
 //                                              the regime transition summary
-//   veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N] [--json FILE]
+//   veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N]
+//                   [--budget-seconds N] [--json FILE]
 //                   [--corpus DIR] [--replay DIR] [--minimize FILE]
 //                                              coverage-guided fault-fuzzing
 //                                              campaign with a detection/
@@ -74,7 +75,8 @@ int usage() {
                "  veridp_cli control <name> [--ticks N] [--loss P] [--dup P]\n"
                "             [--reorder P] [--corrupt P] [--seed S] [--wedge]\n"
                "             [--json FILE]\n"
-               "  veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N] [--json FILE]\n"
+               "  veridp_cli fuzz [--seed S | --seeds a,b,c] [--budget N]\n"
+               "             [--budget-seconds N] [--json FILE]\n"
                "             [--corpus DIR] [--replay DIR] [--minimize FILE]\n"
                "names:  linear fat4 fat6 stanford internet2 toy\n"
                "faults: drop-rule blackhole rewire external priority\n");
@@ -754,6 +756,11 @@ int cmd_fuzz(int argc, char** argv) {
   if (const char* budget = flag_value(argc, argv, "--budget"))
     opts.budget_per_seed = std::atoi(budget);
   if (opts.budget_per_seed <= 0) return usage();
+  if (const char* secs = flag_value(argc, argv, "--budget-seconds")) {
+    const long long v = std::atoll(secs);
+    if (v <= 0) return usage();
+    opts.budget_seconds = static_cast<std::uint64_t>(v);
+  }
 
   const fuzz::CampaignOutcome outcome = fuzz::run_campaign(opts);
   const fuzz::Scorecard& card = outcome.card;
@@ -764,8 +771,14 @@ int cmd_fuzz(int argc, char** argv) {
                 r.schedule.topo.c_str(), r.schedule.actions.size(),
                 r.harmful_effectful, r.detected ? 1 : 0, r.localized ? 1 : 0,
                 static_cast<unsigned long long>(r.false_positives));
-  std::printf("campaign: %zu seeds x %d runs = %u total\n", opts.seeds.size(),
-              opts.budget_per_seed, card.runs);
+  if (opts.budget_seconds > 0)
+    std::printf("campaign: %zu seeds, %llu s wall budget = %u total\n",
+                opts.seeds.size(),
+                static_cast<unsigned long long>(opts.budget_seconds),
+                card.runs);
+  else
+    std::printf("campaign: %zu seeds x %d runs = %u total\n",
+                opts.seeds.size(), opts.budget_per_seed, card.runs);
   std::printf("harmful %u detected %u localized %u\n", card.harmful_runs,
               card.detected_runs, card.localized_runs);
   std::printf("false positives %llu conservation violations %u "
