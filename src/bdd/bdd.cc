@@ -19,6 +19,7 @@ namespace {
 std::atomic<std::uint32_t> g_arena_counter{0};
 
 std::uint32_t next_arena_generation() {
+  // veridp-lint: allow(relaxed-atomic, unique-id handout; only atomicity needed)
   return 1 + g_arena_counter.fetch_add(1, std::memory_order_relaxed) % 127;
 }
 #endif

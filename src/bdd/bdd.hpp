@@ -406,7 +406,9 @@ class BddManager {
   // GUARDED_BY makes the contract compiler-checked: any new code path
   // touching the memo without the capability fails the clang-strict
   // build instead of racing at runtime.
-  mutable SharedMutex count_mu_;
+  // Leaf lock: sat_count never acquires another veridp lock while
+  // holding the memo, so no declared-order edges originate here.
+  mutable SharedMutex count_mu_{"BddManager::count_mu"};
   mutable std::unordered_map<BddRef, double> count_cache_
       GUARDED_BY(count_mu_);
 

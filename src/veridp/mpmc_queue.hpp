@@ -172,7 +172,12 @@ class BoundedMpmcQueue {
   }
 
  private:
-  mutable Mutex mu_;
+  // Leaf of the declared lock hierarchy (tools/lock_order_extract.py):
+  // lane ingest locks may be held while pushing here, never vice versa
+  // (the same edge the Lane declares from its side — both directions
+  // of the declaration syntax resolve to one DAG edge).
+  // ACQUIRED_AFTER("ParallelServer::Lane::mu")
+  mutable Mutex mu_{"BoundedMpmcQueue::mu"};
   CondVar not_empty_;
   CondVar idle_;
   std::deque<T> q_ GUARDED_BY(mu_);

@@ -9,7 +9,32 @@
 
 namespace veridp {
 
+namespace {
+
+// The stat-counter fast paths below deliberately use relaxed atomics:
+// every counter is either single-writer (per-worker slots) or a
+// commutative increment, no reader infers cross-variable ordering from
+// them, and health() documents its merged numbers as advisory while
+// workers run. The helpers centralize the justification the
+// relaxed-atomic lint rule demands (DESIGN.md §12).
+template <typename T>
+// veridp-lint: allow(relaxed-atomic, commutative counter increment; no ordering carried)
+inline void bump_relaxed(std::atomic<T>& c, T n = 1) {
+  c.fetch_add(n, std::memory_order_relaxed);
+}
+
+template <typename T>
+// veridp-lint: allow(relaxed-atomic, advisory read of an independent counter/flag)
+inline T read_relaxed(const std::atomic<T>& c) {
+  return c.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
 EpochTables EpochSnapshot::view() const {
+  // Checked builds abort here on use-after-retire / use-across-
+  // failsafe-flip (lockdep.hpp); release builds see gen 0 and pass.
+  lockdep::snapshot::check(lifecycle_gen, "EpochSnapshot::view");
   EpochTables t;
   t.epoch_checking = epoch_checking;
   t.epoch = epoch;
@@ -94,6 +119,7 @@ void ParallelServer::rebuild_snapshot() {
   // Server::rebuild): reports sampled under epochs
   // [prev valid-from, dirty_from_ - 1] are still in flight and must be
   // judged against it.
+  // veridp-lint: allow(relaxed-atomic, control-thread self-read; it performed every store)
   const std::shared_ptr<const EpochSnapshot> prev =
       snap_.load(std::memory_order_relaxed);
   if (epoch_checking_ && prev && dirty_ &&
@@ -117,8 +143,9 @@ void ParallelServer::rebuild_snapshot() {
   snap_.store(next, std::memory_order_release);  // the publication point
   dirty_ = false;
   missed_heartbeats_ = 0;
+  // veridp-lint: allow(relaxed-atomic, independent status flag; readers poll it)
   in_failsafe_.store(false, std::memory_order_relaxed);
-  published_.fetch_add(1, std::memory_order_relaxed);
+  bump_relaxed(published_);
 }
 
 void ParallelServer::sync() {
@@ -143,6 +170,7 @@ bool ParallelServer::heartbeat(std::uint64_t deadline_ticks) {
   if (!dirty_) {
     // Nothing pending: the active slot is definitionally good.
     missed_heartbeats_ = 0;
+    // veridp-lint: allow(relaxed-atomic, independent status flag; readers poll it)
     in_failsafe_.store(false, std::memory_order_relaxed);
     return false;
   }
@@ -151,6 +179,7 @@ bool ParallelServer::heartbeat(std::uint64_t deadline_ticks) {
     return false;
   }
   ++missed_heartbeats_;
+  // veridp-lint: allow(relaxed-atomic, control-thread self-read of its own flag)
   if (missed_heartbeats_ >= deadline_ticks &&
       !in_failsafe_.load(std::memory_order_relaxed)) {
     // Watchdog: the publisher missed its deadline with events pending.
@@ -158,23 +187,34 @@ bool ParallelServer::heartbeat(std::uint64_t deadline_ticks) {
     // re-assert the last-good active slot as the served snapshot. Its
     // table_valid_to predates the pending events, so every report
     // stamped after the wedge degrades to pass-conclusive /
-    // kStaleEpoch — inconclusive, never a false positive.
+    // kStaleEpoch — inconclusive, never a false positive. The dropped
+    // slot's lifecycle generation is retired first: it never again
+    // becomes the served snapshot, so any later view() through a
+    // squirreled-away handle is a use-across-failsafe-flip bug and
+    // aborts in checked builds.
+    if (slots_[1 - active_slot_])
+      lockdep::snapshot::retire(slots_[1 - active_slot_]->lifecycle_gen,
+                                "failsafe-flip");
     slots_[1 - active_slot_].reset();
     snap_.store(slots_[active_slot_], std::memory_order_release);
+    // veridp-lint: allow(relaxed-atomic, independent status flag; readers poll it)
     in_failsafe_.store(true, std::memory_order_relaxed);
-    failsafe_events_.fetch_add(1, std::memory_order_relaxed);
+    bump_relaxed(failsafe_events_);
   }
-  return in_failsafe_.load(std::memory_order_relaxed);
+  return read_relaxed(in_failsafe_);
 }
 
 void ParallelServer::govern(AdmissionRegime regime,
                             std::uint32_t shed_modulus) {
+  // veridp-lint: allow(relaxed-atomic, advisory admission knobs; each read stands alone)
   governed_.store(true, std::memory_order_relaxed);
   if (shed_modulus != 0)
+    // veridp-lint: allow(relaxed-atomic, advisory admission knobs; each read stands alone)
     governed_modulus_.store(shed_modulus, std::memory_order_relaxed);
   const auto next = static_cast<std::uint8_t>(regime);
+  // veridp-lint: allow(relaxed-atomic, advisory admission knobs; each read stands alone)
   if (regime_.exchange(next, std::memory_order_relaxed) != next)
-    regime_transitions_.fetch_add(1, std::memory_order_relaxed);
+    bump_relaxed(regime_transitions_);
 }
 
 unsigned ParallelServer::worker_count() const {
@@ -276,19 +316,16 @@ bool ParallelServer::submit(const TagReport& report) {
   // Shed checks run outside the lane ingest lock — the queue has its
   // own synchronization and the depth reading is advisory anyway.
   const std::size_t depth = lane.q.size();
-  if (governed_.load(std::memory_order_relaxed)) {
+  if (read_relaxed(governed_)) {
     // A control loop commands admission: the regime's declared policy
     // (admission.hpp) replaces the fixed watermark.
-    switch (policy_for(static_cast<AdmissionRegime>(
-        regime_.load(std::memory_order_relaxed)))) {
+    switch (policy_for(static_cast<AdmissionRegime>(read_relaxed(regime_)))) {
       case AdmissionPolicy::kQuarantineOnly:
         count_shed(lane);
         return false;
       case AdmissionPolicy::kDeterministicSample:
         if (depth >= lane_capacity_ ||
-            report.seq %
-                    governed_modulus_.load(std::memory_order_relaxed) !=
-                0) {
+            report.seq % read_relaxed(governed_modulus_) != 0) {
           count_shed(lane);
           return false;
         }
@@ -432,21 +469,20 @@ void ParallelServer::worker_loop(unsigned idx) {
     verify_epoch_aware_batch(soa, 0, n, tables, &memo, verdicts.data());
     for (std::size_t k = 0; k < n; ++k) {
       const Verdict& v = verdicts[k];
-      ws.verified.fetch_add(1, std::memory_order_relaxed);
+      bump_relaxed(ws.verified);
       if (v.ok()) {
-        ws.passed.fetch_add(1, std::memory_order_relaxed);
+        bump_relaxed(ws.passed);
       } else if (v.status == VerifyStatus::kStaleEpoch) {
-        ws.stale.fetch_add(1, std::memory_order_relaxed);
+        bump_relaxed(ws.stale);
       } else {
-        ws.failed.fetch_add(1, std::memory_order_relaxed);
+        bump_relaxed(ws.failed);
         // Hand the mismatch to the localization stage. Bounded: if the
         // stage is hopelessly behind, overflow mismatches are dropped
         // (they are still counted in `failed`).
         failure_queue_.try_push(batch[k]);
       }
     }
-    ws.memo_hits.fetch_add(memo.hits() - hits_before,
-                           std::memory_order_relaxed);
+    bump_relaxed(ws.memo_hits, memo.hits() - hits_before);
     WorkerProfile::bump(wp.memo_hits, memo.hits() - hits_before);
     WorkerProfile::bump(wp.memo_lookups, memo.lookups() - lookups_before);
     WorkerProfile::bump(wp.batches);
@@ -522,19 +558,17 @@ ParallelHealth ParallelServer::health() const {
       h.lost_estimate += tracker.lost_estimate();
   }
   for (const auto& ws : worker_stats_) {
-    h.verified += ws->verified.load(std::memory_order_relaxed);
-    h.passed += ws->passed.load(std::memory_order_relaxed);
-    h.failed += ws->failed.load(std::memory_order_relaxed);
-    h.stale += ws->stale.load(std::memory_order_relaxed);
-    h.memo_hits += ws->memo_hits.load(std::memory_order_relaxed);
+    h.verified += read_relaxed(ws->verified);
+    h.passed += read_relaxed(ws->passed);
+    h.failed += read_relaxed(ws->failed);
+    h.stale += read_relaxed(ws->stale);
+    h.memo_hits += read_relaxed(ws->memo_hits);
   }
   h.in_queue = queue_depth();
-  h.regime =
-      static_cast<AdmissionRegime>(regime_.load(std::memory_order_relaxed));
-  h.regime_transitions =
-      regime_transitions_.load(std::memory_order_relaxed);
-  h.failsafe_events = failsafe_events_.load(std::memory_order_relaxed);
-  h.snapshot_flips = published_.load(std::memory_order_relaxed);
+  h.regime = static_cast<AdmissionRegime>(read_relaxed(regime_));
+  h.regime_transitions = read_relaxed(regime_transitions_);
+  h.failsafe_events = read_relaxed(failsafe_events_);
+  h.snapshot_flips = read_relaxed(published_);
   return h;
 }
 

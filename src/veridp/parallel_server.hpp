@@ -162,6 +162,14 @@ struct ParallelHealth {
 /// One immutable published unit: the current table, the retired ring and
 /// the epoch bookkeeping verify_epoch_aware needs. Never mutated after
 /// publication; destroyed when the last reader drops its shared_ptr.
+///
+/// Lifecycle discipline (checked builds, DESIGN.md §12): the snapshot
+/// registers a lockdep lifecycle generation at construction; the
+/// failsafe watchdog retires the generation of the slot it abandons,
+/// and view() aborts on a retired or destroyed generation — the
+/// arena-generation trick of §8.3 applied to snapshots. The contract
+/// it enforces: a snapshot handle is used within one batch under a
+/// live shared_ptr pin and never across a failsafe flip.
 struct EpochSnapshot {
   std::uint32_t epoch = 0;
   std::uint32_t table_valid_from = 0;
@@ -178,6 +186,15 @@ struct EpochSnapshot {
   /// `ranges`).
   std::vector<std::shared_ptr<const PathTable>> retained;
   std::vector<EpochTables::Range> ranges;
+  /// Lifecycle generation: 0 in release builds (check() passes), a
+  /// fresh registry entry in checked builds. The field itself is
+  /// unconditional so checked and plain TUs agree on the layout.
+  std::uint64_t lifecycle_gen = lockdep::snapshot::register_gen();
+
+  EpochSnapshot() = default;
+  EpochSnapshot(const EpochSnapshot&) = delete;
+  EpochSnapshot& operator=(const EpochSnapshot&) = delete;
+  ~EpochSnapshot() { lockdep::snapshot::unregister(lifecycle_gen); }
 
   [[nodiscard]] EpochTables view() const;
 };
@@ -238,9 +255,11 @@ class ParallelServer {
   /// True while the watchdog is serving the last-good slot because the
   /// publisher missed its heartbeat deadline with events pending.
   [[nodiscard]] bool in_failsafe() const {
+    // veridp-lint: allow(relaxed-atomic, advisory status poll; no data guarded by it)
     return in_failsafe_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t failsafe_events() const {
+    // veridp-lint: allow(relaxed-atomic, monitoring counter; exactness not ordering)
     return failsafe_events_.load(std::memory_order_relaxed);
   }
 
@@ -254,9 +273,11 @@ class ParallelServer {
   /// both of which conserve).
   void govern(AdmissionRegime regime, std::uint32_t shed_modulus);
   [[nodiscard]] bool governed() const {
+    // veridp-lint: allow(relaxed-atomic, advisory admission knob; each read stands alone)
     return governed_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] AdmissionRegime regime() const {
+    // veridp-lint: allow(relaxed-atomic, advisory admission knob; each read stands alone)
     return static_cast<AdmissionRegime>(
         regime_.load(std::memory_order_relaxed));
   }
@@ -300,6 +321,7 @@ class ParallelServer {
   [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
   [[nodiscard]] bool epoch_checking() const { return epoch_checking_; }
   [[nodiscard]] std::uint64_t snapshots_published() const {
+    // veridp-lint: allow(relaxed-atomic, monitoring counter; exactness not ordering)
     return published_.load(std::memory_order_relaxed);
   }
   /// Total undispatched reports across all lanes.
@@ -341,7 +363,12 @@ class ParallelServer {
   /// its own internal synchronization (it must: thieves bypass `mu`).
   struct alignas(64) Lane {
     explicit Lane(std::size_t capacity) : q(capacity) {}
-    mutable Mutex mu;
+    // Lock class + declared order (DESIGN.md §12): lane admission is
+    // the outermost ingest lock — it may be held while touching the
+    // lane's queue or the quarantine buffer, never the reverse.
+    // ACQUIRED_BEFORE("BoundedMpmcQueue::mu")
+    // ACQUIRED_BEFORE("ParallelServer::quarantine_mu")
+    mutable Mutex mu{"ParallelServer::Lane::mu"};
     std::unordered_map<SwitchId, SeqTracker> seq GUARDED_BY(mu);
     std::uint64_t received GUARDED_BY(mu) = 0;
     std::uint64_t deduped GUARDED_BY(mu) = 0;
@@ -416,9 +443,13 @@ class ParallelServer {
   ScalProfiler prof_;
 
   // Localization-stage output + quarantine (cold paths, mutex-guarded).
-  mutable Mutex failures_mu_;
+  // Declared order: if both buffers are ever locked together, failures
+  // first — the ACQUIRED_BEFORE attribute makes the hierarchy visible
+  // to clang's beta analysis and to tools/lock_order_extract.py.
+  mutable Mutex failures_mu_ ACQUIRED_BEFORE(quarantine_mu_){
+      "ParallelServer::failures_mu"};
   std::deque<TagReport> failures_ GUARDED_BY(failures_mu_);
-  mutable Mutex quarantine_mu_;
+  mutable Mutex quarantine_mu_{"ParallelServer::quarantine_mu"};
   std::deque<std::vector<std::uint8_t>> quarantine_
       GUARDED_BY(quarantine_mu_);
 };

@@ -32,10 +32,23 @@ Rules encode lessons this codebase has already paid for (DESIGN.md §8):
       lanes or hash-combine with multiplication by odd constants.
       src/common/murmur3.* is exempt (vendored published hash).
 
+  relaxed-atomic
+      Every `memory_order_relaxed` outside the profiler and lockdep
+      internals (src/common/scal_profiler.*, src/common/lockdep.*)
+      needs `veridp-lint: allow(relaxed-atomic, <justification>)` with
+      a NON-EMPTY justification. Relaxed is correct for commutative
+      counters and advisory flags, and subtly wrong the moment a
+      reader infers anything about *other* memory from the value — the
+      A/B snapshot flip bug class (DESIGN.md §12). The justification
+      requirement forces the author to state which camp a site is in,
+      reviewably, at the site.
+
 Suppression: `veridp-lint: allow(<rule>)` inside a comment on the
 offending line, or on a line above it within the same statement
-(coverage extends until the next line that ends in `;` or `}`). Every
-allow in-tree should carry a justification in the surrounding comment.
+(coverage extends until the next line that ends in `;` or `}`). The
+form `allow(<rule>, <justification>)` attaches a justification; the
+relaxed-atomic rule rejects allows whose justification is missing or
+empty, every other rule treats it as documentation.
 
 Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
 `--expect-violation RULE` inverts the contract for the lint's own test
@@ -49,9 +62,12 @@ import re
 import sys
 
 RULES = ("raw-lock", "hot-path-std-function", "bare-bddref-member",
-         "xor-hash-key")
+         "xor-hash-key", "relaxed-atomic")
 
-ALLOW_RE = re.compile(r"veridp-lint:\s*allow\(([a-z-]+)\)")
+# Rules whose allow() must carry a non-empty justification argument.
+JUSTIFIED_RULES = frozenset({"relaxed-atomic"})
+
+ALLOW_RE = re.compile(r"veridp-lint:\s*allow\(([a-z-]+)(?:\s*,\s*([^)]*))?\)")
 HOT_PATH_RE = re.compile(r"//\s*veridp-lint:\s*hot-path\b")
 
 # Per-rule file exemptions (path suffixes, '/'-normalized).
@@ -59,9 +75,16 @@ FILE_EXEMPT = {
     "raw-lock": ("src/common/thread_annotations.hpp",),
     "xor-hash-key": ("src/common/murmur3.hpp", "src/common/murmur3.cc"),
     "bare-bddref-member": (),  # src/bdd/ handled as a directory below
+    # The profiler and the lockdep runtime ARE the justified-relaxed
+    # internals the rule points everyone else at.
+    "relaxed-atomic": ("src/common/scal_profiler.hpp",
+                       "src/common/scal_profiler.cc",
+                       "src/common/lockdep.hpp",
+                       "src/common/lockdep.cc"),
 }
 
 RAW_LOCK_RE = re.compile(r"(?:\.|->)\s*(?:try_lock|lock|unlock)\s*\(")
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
 STD_FUNCTION_RE = re.compile(r"\bstd\s*::\s*function\b")
 XOR_SHIFT_RE = re.compile(r"<<\s*(\d+)")
 MEMBER_BDDREF_RE = re.compile(
@@ -130,19 +153,20 @@ def strip_code(text):
 
 
 def allow_map(raw_lines):
-    """Maps 1-based line number -> set of allowed rules. An allow
-    covers its own line and subsequent lines until (and including) the
-    next line whose code ends a statement or block."""
+    """Maps 1-based line number -> {rule: justification-or-None}. An
+    allow covers its own line and subsequent lines until (and
+    including) the next line whose code ends a statement or block."""
     allowed = {}
-    active = set()
+    active = {}
     for ln, line in enumerate(raw_lines, start=1):
         for m in ALLOW_RE.finditer(line):
-            active.add(m.group(1))
+            just = m.group(2)
+            active[m.group(1)] = just.strip() if just else None
         if active:
-            allowed[ln] = set(active)
+            allowed[ln] = dict(active)
             code = re.sub(r"//.*", "", line).rstrip()
             if code.endswith((";", "}")):
-                active = set()
+                active = {}
     return allowed
 
 
@@ -204,8 +228,12 @@ def lint_file(path, rel, findings):
         return any(rel.endswith(sfx) for sfx in FILE_EXEMPT.get(rule, ()))
 
     def report(rule, ln, msg):
-        if rule in allowed.get(ln, ()):
-            return
+        scope = allowed.get(ln, {})
+        if rule in scope:
+            if rule not in JUSTIFIED_RULES or scope[rule]:
+                return
+            msg += ("; the allow is missing its justification — write "
+                    f"allow({rule}, <why relaxed is enough here>)")
         findings.append((rel, ln, rule, msg))
 
     scanner = StructScanner()
@@ -220,6 +248,11 @@ def lint_file(path, rel, findings):
             report("hot-path-std-function", ln,
                    "std::function in a hot-path file; use a template "
                    "parameter (cf. BddManager::eval_with)")
+        if not exempt("relaxed-atomic") and RELAXED_RE.search(code):
+            report("relaxed-atomic", ln,
+                   "memory_order_relaxed outside the profiler/lockdep "
+                   "internals; justify it with allow(relaxed-atomic, "
+                   "<why>) or use acquire/release")
         if not exempt("xor-hash-key") and "^" in code:
             m = XOR_SHIFT_RE.search(code)
             if m and int(m.group(1)) >= 8:
